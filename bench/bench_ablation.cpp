@@ -1,0 +1,95 @@
+// Ablations for the design choices DESIGN.md calls out (beyond the paper's
+// own Figure 6a strategy study):
+//   A. sibling subtraction on/off — the build-smaller-child optimization,
+//   B. sparsity-aware zero-bin reconstruction on/off,
+//   C. the adaptive segments-per-block constant C (§3.1.3),
+//   D. multi-GPU scaling 1..8 devices, feature- vs data-parallel (§3.4.2).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using gbmo::TextTable;
+using gbmo::bench::paper_config;
+using gbmo::bench::progress;
+using gbmo::bench::run_system;
+
+void ablate_flag(const char* title, void (*apply)(gbmo::core::TrainConfig&, bool)) {
+  std::printf("-- %s --\n", title);
+  TextTable table({"Dataset", "on (s)", "off (s)", "off/on"});
+  for (const auto& name : gbmo::data::sensitivity_dataset_names()) {
+    const auto& spec = gbmo::data::find_dataset(name);
+    double on = 0.0, off = 0.0;
+    for (bool enabled : {true, false}) {
+      progress(std::string(title) + " / " + name + (enabled ? " on" : " off"));
+      auto cfg = paper_config();
+      apply(cfg, enabled);
+      const auto out = run_system("ours", spec, cfg, /*trees=*/4);
+      (enabled ? on : off) = out.time_bench_100;
+    }
+    table.add_row({name, TextTable::num(on, 3), TextTable::num(off, 3),
+                   TextTable::num(off / on, 2) + "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablations (modeled s for 100 trees, bench scale) ==\n");
+
+  ablate_flag("A. sibling subtraction", [](gbmo::core::TrainConfig& cfg, bool on) {
+    cfg.sibling_subtraction = on;
+  });
+  ablate_flag("B. sparsity-aware zero-bin reconstruction",
+              [](gbmo::core::TrainConfig& cfg, bool on) { cfg.sparsity_aware = on; });
+  // "off" here is the default dense binned path; "on" streams the binned CSC
+  // entries once per level (§3.2) — cheaper where the data is sparse.
+  ablate_flag("B2. CSC level-sweep storage (on = §3.2 sweep, off = dense path)",
+              [](gbmo::core::TrainConfig& cfg, bool on) { cfg.csc_level_sweep = on; });
+
+  std::printf("-- C. segments-per-block constant (split reduction, §3.1.3) --\n");
+  {
+    TextTable table({"Dataset", "C=0 (1 seg/blk)", "C=1", "C=4", "C=16"});
+    for (const auto& name : {"Caltech101", "NUS-WIDE"}) {
+      const auto& spec = gbmo::data::find_dataset(name);
+      std::vector<std::string> row = {name};
+      for (double c : {0.0, 1.0, 4.0, 16.0}) {
+        progress(std::string("C=") + std::to_string(c) + " / " + name);
+        auto cfg = paper_config();
+        cfg.segments_per_block_c = c;
+        const auto out = run_system("ours", spec, cfg, /*trees=*/4);
+        row.push_back(TextTable::num(out.time_bench_100, 3));
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("-- D. multi-GPU scaling (ours, feature- vs data-parallel) --\n");
+  {
+    TextTable table({"Dataset", "mode", "1 GPU", "2", "4", "8"});
+    for (const auto& name : {"MNIST", "NUS-WIDE"}) {
+      const auto& spec = gbmo::data::find_dataset(name);
+      for (auto mode : {gbmo::core::MultiGpuMode::kFeatureParallel,
+                        gbmo::core::MultiGpuMode::kDataParallel}) {
+        std::vector<std::string> row = {
+            name, mode == gbmo::core::MultiGpuMode::kFeatureParallel ? "feature"
+                                                                     : "data"};
+        for (int devs : {1, 2, 4, 8}) {
+          progress(std::string(name) + " x" + std::to_string(devs));
+          auto cfg = paper_config();
+          cfg.n_devices = devs;
+          cfg.multi_gpu = mode;
+          const auto out = run_system("ours", spec, cfg, /*trees=*/3);
+          row.push_back(TextTable::num(out.time_bench_100, 3));
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

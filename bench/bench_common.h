@@ -1,0 +1,63 @@
+// Shared bench harness: replica datasets (cached), the paper's default
+// configuration, and the timing/quality protocol.
+//
+// Timing protocol (documented in EXPERIMENTS.md): per (system, dataset,
+// device count) we train a few trees on the bench-scale replica, take the
+// steady-state per-tree modeled time, and extrapolate to the paper's 100
+// trees (tree cost is constant across boosting rounds). Two numbers are
+// reported:
+//   bench  — modeled seconds at the replica's bench scale (the primary
+//            number; all systems share the scale, so ratios are comparable)
+//   full~  — bench seconds x the dataset's volume scale factor: a linear
+//            volume extrapolation to the paper's full shape (upper bound for
+//            launch-overhead-bound cases).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "baselines/system.h"
+#include "common/table.h"
+#include "core/config.h"
+#include "data/paper_datasets.h"
+
+namespace gbmo::bench {
+
+// The paper's §4.1 default parameters.
+inline core::TrainConfig paper_config() {
+  core::TrainConfig cfg;
+  cfg.n_trees = 100;
+  cfg.max_depth = 7;
+  cfg.learning_rate = 1.0f;
+  cfg.min_instances_per_node = 20;
+  cfg.max_bins = 256;
+  return cfg;
+}
+
+// Cached replica generation + 80/20 split per dataset name.
+const data::TrainTestSplit& replica_split(const data::ReplicaSpec& spec);
+
+struct RunOutput {
+  std::string system;
+  std::string dataset;
+  double time_bench_100 = 0.0;  // modeled s, extrapolated to 100 trees
+  double time_full_100 = 0.0;   // x volume scale factor
+  double quality = 0.0;
+  std::string metric;
+  core::TrainReport report;
+};
+
+// Trains `timing_trees` trees and extrapolates to 100; quality is evaluated
+// on the held-out split of the replica with whatever the run trained.
+// Tables 2-4 run on the paper's RTX 4090; the §4.3 sensitivity figures pass
+// sim::DeviceSpec::rtx3090() to match the paper's testbed for those plots.
+RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
+                     core::TrainConfig cfg, int trees_to_train,
+                     int extrapolate_to = 100,
+                     sim::DeviceSpec device = sim::DeviceSpec::rtx4090());
+
+// One-line progress marker (benches run for minutes; stderr keeps the user
+// informed without polluting the stdout tables).
+void progress(const std::string& msg);
+
+}  // namespace gbmo::bench

@@ -1,0 +1,54 @@
+// Reproduces Figure 4: histogram building time as a fraction of total
+// training time. The paper reports 88.5% (Delicious), 88.3% (NUS-WIDE),
+// 78.5% (MNIST), 67.2% (Caltech101) and 77.9% (MNIST-IN) — histogram
+// construction is the dominant bottleneck, which motivates §3.3.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+
+int main() {
+  using gbmo::TextTable;
+  using gbmo::bench::paper_config;
+  using gbmo::bench::progress;
+  using gbmo::bench::run_system;
+
+  const std::map<std::string, double> kPaperFraction = {
+      {"Delicious", 88.5}, {"NUS-WIDE", 88.3}, {"MNIST", 78.5},
+      {"Caltech101", 67.2}, {"MNIST-IN", 77.9},
+  };
+
+  std::printf(
+      "== Figure 4 — histogram share of total training time ==\n"
+      "dense %% matches the paper's measurement conditions (every gradient\n"
+      "element accumulated); sparse %% is with our zero-bin subtraction on —\n"
+      "the optimization deliberately shrinks the histogram phase on sparse\n"
+      "data, which is a *smaller fraction by improvement*, not a mismatch.\n");
+  TextTable table({"Dataset", "dense hist %", "(paper %)", "sparsity-aware %"});
+  bool all_dominant = true;
+  for (const auto& [name, paper_pct] : kPaperFraction) {
+    const auto& spec = gbmo::data::find_dataset(name);
+    auto fraction = [&](bool sparsity_aware) {
+      progress(name + std::string(sparsity_aware ? " (sparse)" : " (dense)"));
+      auto cfg = paper_config();
+      cfg.sparsity_aware = sparsity_aware;
+      const auto out = run_system("ours", spec, cfg, /*trees=*/6);
+      double total = 0.0, hist = 0.0;
+      for (const auto& [phase, sec] : out.report.phase_seconds) {
+        total += sec;
+        if (phase == "histogram") hist += sec;
+      }
+      return 100.0 * hist / total;
+    };
+    const double dense_pct = fraction(false);
+    const double sparse_pct = fraction(true);
+    all_dominant &= dense_pct > 50.0;
+    table.add_row({name, TextTable::num(dense_pct, 1), TextTable::num(paper_pct, 1),
+                   TextTable::num(sparse_pct, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("histogram building dominant (>50%%, dense) on all datasets: %s "
+              "(paper: yes, 67-89%%)\n",
+              all_dominant ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Figure 6a: training time under the five histogram-building
+// configurations — gmem, smem, sort-and-reduce ("all-reduce" in the paper's
+// legend), gmem+wo and smem+wo (wo = warp-level optimization / bin packing).
+//
+// Paper shapes under test:
+//   1. sort-and-reduce is the slowest strategy on every dataset,
+//   2. warp optimization improves both gmem and smem (up to ~50% on
+//      NUS-WIDE),
+//   3. no single strategy wins everywhere (gmem on MNIST/MNIST-IN, smem on
+//      Caltech101/NUS-WIDE in the paper) — motivating adaptive selection,
+//      which is also printed for reference.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+struct MethodConfig {
+  const char* label;
+  gbmo::core::HistMethod method;
+  bool warp_opt;
+};
+
+}  // namespace
+
+int main() {
+  using gbmo::TextTable;
+  using gbmo::bench::paper_config;
+  using gbmo::bench::progress;
+  using gbmo::bench::run_system;
+
+  const std::vector<MethodConfig> methods = {
+      {"gmem", gbmo::core::HistMethod::kGlobal, false},
+      {"smem", gbmo::core::HistMethod::kShared, false},
+      {"sort-reduce", gbmo::core::HistMethod::kSortReduce, false},
+      {"gmem+wo", gbmo::core::HistMethod::kGlobal, true},
+      {"smem+wo", gbmo::core::HistMethod::kShared, true},
+      {"adaptive", gbmo::core::HistMethod::kAuto, true},
+  };
+
+  std::printf("== Figure 6a — histogram strategies (modeled s for 100 trees, "
+              "bench scale) ==\n");
+  std::vector<std::string> header = {"Dataset"};
+  for (const auto& m : methods) header.push_back(m.label);
+  header.push_back("sort slowest?");
+  header.push_back("wo helps?");
+  TextTable table(header);
+
+  bool sort_always_slowest = true;
+  bool wo_always_helps = true;
+  for (const auto& name : gbmo::data::sensitivity_dataset_names()) {
+    const auto& spec = gbmo::data::find_dataset(name);
+    std::vector<std::string> row = {name};
+    std::vector<double> times;
+    for (const auto& m : methods) {
+      progress(name + std::string(" / ") + m.label);
+      auto cfg = paper_config();
+      cfg.hist_method = m.method;
+      cfg.warp_opt = m.warp_opt;
+      const auto out = run_system("ours", spec, cfg, /*trees=*/4, 100,
+                                  gbmo::sim::DeviceSpec::rtx3090());
+      times.push_back(out.time_bench_100);
+      row.push_back(TextTable::num(out.time_bench_100, 3));
+    }
+    const bool sort_slowest = times[2] >= times[0] && times[2] >= times[1];
+    const bool wo_helps = times[3] < times[0] && times[4] < times[1];
+    sort_always_slowest &= sort_slowest;
+    wo_always_helps &= wo_helps;
+    row.push_back(sort_slowest ? "yes" : "NO");
+    row.push_back(wo_helps ? "yes" : "NO");
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("sort-and-reduce slowest on all datasets: %s (paper: yes)\n",
+              sort_always_slowest ? "yes" : "NO");
+  std::printf("warp optimization helps gmem and smem everywhere: %s (paper: yes)\n",
+              wo_always_helps ? "yes" : "NO");
+  return 0;
+}

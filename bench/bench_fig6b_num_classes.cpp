@@ -1,0 +1,87 @@
+// Reproduces Figure 6b: training time vs the number of classes on synthetic
+// multiclass data (scikit-learn-style make_classification, 100 trees of
+// depth 6, as in §4.3.3).
+//
+// Paper shapes under test:
+//   1. catboost and xgboost grow steeply with the class count (d separate
+//      ensembles / dense d-wide work),
+//   2. sk-boost stays relatively flat but at a high baseline,
+//   3. "ours" grows moderately and is the fastest at every class count.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+
+int main() {
+  using gbmo::TextTable;
+  using gbmo::bench::progress;
+
+  const std::vector<int> class_counts = {5, 20, 50, 100, 250, 500};
+  const std::vector<std::string> systems = {"catboost", "xgboost", "sk-boost",
+                                            "ours"};
+
+  std::printf("== Figure 6b — training time vs #classes (synthetic, 100 "
+              "trees, depth 6; modeled s) ==\n");
+  std::vector<std::string> header = {"system"};
+  for (int c : class_counts) header.push_back("d=" + std::to_string(c));
+  header.push_back("growth x");
+  TextTable table(header);
+
+  std::vector<std::vector<double>> times(systems.size());
+  for (std::size_t si = 0; si < systems.size(); ++si) {
+    std::vector<std::string> row = {systems[si]};
+    for (int classes : class_counts) {
+      progress(systems[si] + " / d=" + std::to_string(classes));
+      gbmo::data::MulticlassSpec spec;
+      spec.n_instances = 2000;
+      spec.n_features = 20;
+      spec.n_classes = classes;
+      spec.cluster_sep = 1.6;
+      spec.seed = 777;
+      const auto d = gbmo::data::make_multiclass(spec);
+
+      gbmo::core::TrainConfig cfg;
+      cfg.max_depth = 6;  // §4.3.3 uses depth 6
+      cfg.max_bins = 64;  // scale-consistent quantization (see bench_common)
+      cfg.n_trees = 2;
+      auto sys = gbmo::baselines::make_system(systems[si], cfg,
+                                              gbmo::sim::DeviceSpec::rtx3090());
+      sys->fit(d);
+      times[si].push_back(sys->report().extrapolate_seconds(100));
+      row.push_back(TextTable::num(times[si].back(), 3));
+    }
+    row.push_back(TextTable::num(times[si].back() / times[si].front(), 1));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Shape checks.
+  const std::size_t ours = 3, sk = 2, xgb = 1, cat = 0;
+  bool ours_fastest = true;
+  for (std::size_t c = 0; c < class_counts.size(); ++c) {
+    for (std::size_t si = 0; si + 1 < systems.size(); ++si) {
+      if (times[ours][c] >= times[si][c]) ours_fastest = false;
+    }
+  }
+  // Slopes in seconds per added class (absolute growth; relative ratios are
+  // distorted by each system's fixed per-round overhead).
+  const double span = static_cast<double>(class_counts.back() - class_counts.front());
+  auto slope = [&](std::size_t si) {
+    return (times[si].back() - times[si].front()) / span;
+  };
+  const double ours_slope = slope(ours), sk_slope = slope(sk),
+               xgb_slope = slope(xgb), cat_slope = slope(cat);
+  std::printf("ours fastest at every class count: %s (paper: yes)\n",
+              ours_fastest ? "yes" : "NO");
+  std::printf("sk-boost flattest (slope %.2f ms/class vs ours %.2f, xgb %.2f, "
+              "cat %.2f): %s (paper: yes)\n",
+              sk_slope * 1e3, ours_slope * 1e3, xgb_slope * 1e3, cat_slope * 1e3,
+              (sk_slope <= ours_slope && sk_slope <= xgb_slope &&
+               sk_slope <= cat_slope)
+                  ? "yes"
+                  : "NO");
+  std::printf("xgboost/catboost climb steeper than ours: %s (paper: yes)\n",
+              (xgb_slope > ours_slope && cat_slope > ours_slope) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Multi-step spatial incident forecasting — the SF-Crime-style workload: a
+// handful of features (location, time-of-week encodings), many output
+// categories, and lots of instances.
+//
+// Shows: the user data path (write your data as CSV/LIBSVM, read it back),
+// comparing our system against the reimplemented baselines through the
+// unified AnySystem interface, and the per-round timing report.
+#include <cstdio>
+
+#include "baselines/system.h"
+#include "data/io.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace gbmo;
+
+  // Synthesize an SF-Crime-shaped dataset and round-trip it through the CSV
+  // path the way user data would arrive.
+  data::MulticlassSpec spec;
+  spec.n_instances = 5000;
+  spec.n_features = 10;
+  spec.n_classes = 20;   // incident categories
+  spec.cluster_sep = 0.9;  // heavily overlapping categories: a hard task
+  spec.seed = 11;
+  data::write_csv_file("/tmp/gbmo_crime.csv", data::make_multiclass(spec));
+  const auto full = data::read_csv_file("/tmp/gbmo_crime.csv", spec.n_features);
+  const auto split = data::split_dataset(full, 0.2);
+  std::printf("incidents: %zu train / %zu test, %d categories\n\n",
+              split.train.n_instances(), split.test.n_instances(),
+              split.train.n_outputs());
+
+  core::TrainConfig cfg;
+  cfg.n_trees = 25;
+  cfg.max_depth = 6;
+  cfg.learning_rate = 0.3f;
+  cfg.max_bins = 64;
+
+  std::printf("%-10s %12s %14s %12s\n", "system", "modeled s", "per-round ms",
+              "test acc %");
+  for (const auto& name : baselines::gpu_system_names()) {
+    auto system = baselines::make_system(name, cfg);
+    system->fit(split.train);
+    const auto eval = system->evaluate(split.test);
+    const auto& report = system->report();
+    const double per_round =
+        report.per_tree_seconds.empty()
+            ? 0.0
+            : report.modeled_seconds / static_cast<double>(report.per_tree_seconds.size());
+    std::printf("%-10s %12.4f %14.3f %12.2f\n", name.c_str(),
+                report.modeled_seconds, per_round * 1e3, eval.value);
+  }
+
+  std::printf(
+      "\nThe single multi-output ensemble (\"ours\") covers all categories per\n"
+      "boosting round; xgboost/lightgbm train one tree per category per round.\n");
+  return 0;
+}

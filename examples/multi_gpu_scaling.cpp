@@ -1,0 +1,61 @@
+// Multi-GPU training (§3.4.2): feature-parallel vs data-parallel scaling on
+// a wide, high-dimensional workload, with the communication cost surfaced.
+//
+// Shows: configuring the device group, the two partitioning strategies, and
+// why feature partitioning with summary-statistics exchange scales while
+// histogram all-reduce does not once histograms outgrow the row slices.
+#include <cstdio>
+
+#include "core/booster.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace gbmo;
+
+  data::MulticlassSpec spec;
+  spec.n_instances = 4000;
+  spec.n_features = 96;   // wide: plenty of columns to partition
+  spec.n_classes = 24;
+  spec.cluster_sep = 1.6;
+  spec.seed = 19;
+  const auto train = data::make_multiclass(spec);
+  std::printf("workload: %zu x %zu, %d outputs\n\n", train.n_instances(),
+              train.n_features(), train.n_outputs());
+
+  core::TrainConfig cfg;
+  cfg.n_trees = 10;
+  cfg.max_depth = 6;
+  cfg.max_bins = 64;
+
+  std::printf("%-8s %-18s %12s %12s %10s\n", "devices", "mode", "modeled s",
+              "comm s", "speedup");
+  double baseline = 0.0;
+  for (const auto mode : {core::MultiGpuMode::kFeatureParallel,
+                          core::MultiGpuMode::kDataParallel}) {
+    for (const int devices : {1, 2, 4, 8}) {
+      auto run_cfg = cfg;
+      run_cfg.n_devices = devices;
+      run_cfg.multi_gpu = mode;
+      core::GbmoBooster booster(run_cfg);
+      booster.fit(train);
+      const auto& report = booster.report();
+      double comm = 0.0;
+      const auto it = report.phase_seconds.find("comm");
+      if (it != report.phase_seconds.end()) comm = it->second;
+      if (devices == 1 && mode == core::MultiGpuMode::kFeatureParallel) {
+        baseline = report.modeled_seconds;
+      }
+      std::printf("%-8d %-18s %12.4f %12.4f %9.2fx\n", devices,
+                  mode == core::MultiGpuMode::kFeatureParallel ? "feature-parallel"
+                                                               : "data-parallel",
+                  report.modeled_seconds, comm,
+                  baseline / report.modeled_seconds);
+    }
+  }
+
+  std::printf(
+      "\nFeature partitioning exchanges only per-node best-split candidates\n"
+      "and partition bitmaps; data partitioning all-reduces whole histograms\n"
+      "every level, which dominates once histograms are large (§3.4.2).\n");
+  return 0;
+}

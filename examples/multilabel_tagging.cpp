@@ -1,0 +1,58 @@
+// Multilabel document tagging — the Delicious-style workload from the
+// paper's introduction: sparse bag-of-words-like features, dozens of
+// correlated tags per corpus, a handful of tags per document.
+//
+// Shows: the sigmoid-BCE multilabel path, sparsity-aware training on
+// naturally sparse features, micro-F1 / RMSE evaluation, and how the
+// adaptive histogram strategy pays off against a fixed one.
+#include <cstdio>
+
+#include "core/booster.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace gbmo;
+
+  data::MultilabelSpec spec;
+  spec.n_instances = 2000;
+  spec.n_features = 120;
+  spec.n_outputs = 48;     // tags
+  spec.n_topics = 12;      // latent topics correlate tags with words
+  spec.labels_per_instance = 3.0;
+  spec.sparsity = 0.9;     // bag-of-words sparsity
+  spec.seed = 7;
+  const auto full = data::make_multilabel(spec);
+  const auto split = data::split_dataset(full, 0.2);
+  std::printf("tagging corpus: %zu documents, %zu terms, %d tags, %.0f%% sparse\n",
+              full.n_instances(), full.n_features(), full.n_outputs(),
+              100.0 * full.x.zero_fraction());
+
+  core::TrainConfig cfg;
+  cfg.n_trees = 30;
+  cfg.max_depth = 6;
+  cfg.learning_rate = 0.4f;
+  cfg.max_bins = 32;
+
+  // Train once per histogram strategy to see the adaptive selector's value.
+  for (const auto method : {core::HistMethod::kAuto, core::HistMethod::kGlobal,
+                            core::HistMethod::kShared,
+                            core::HistMethod::kSortReduce}) {
+    auto run_cfg = cfg;
+    run_cfg.hist_method = method;
+    core::GbmoBooster booster(run_cfg);
+    const auto model = booster.fit(split.train);
+
+    const auto scores = model.predict(split.test.x);
+    const double f1 = core::micro_f1(scores, split.test.y);
+    const double err = core::rmse(scores, split.test.y, /*apply_sigmoid=*/true);
+    std::printf("%-12s modeled %.4f s | test micro-F1 %.3f | RMSE %.3f\n",
+                core::hist_method_name(method), booster.report().modeled_seconds,
+                f1, err);
+  }
+
+  std::printf(
+      "\nNote: one multi-output ensemble serves all 48 tags; the single-output\n"
+      "alternative would train 48 separate ensembles for the same job (§2.1).\n");
+  return 0;
+}

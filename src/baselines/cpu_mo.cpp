@@ -1,0 +1,27 @@
+#include "baselines/cpu_mo.h"
+
+namespace gbmo::baselines {
+
+CpuMoSystem::CpuMoSystem(core::TrainConfig config, bool sparse)
+    : config_(config), sparse_(sparse) {
+  // The reference implementation is CPU-only, single device, no GPU-specific
+  // optimizations. The dense variant walks the whole matrix; the sparse one
+  // skips zeros but pays per-element indirection.
+  config_.n_devices = 1;
+  config_.hist_method = core::HistMethod::kGlobal;
+  config_.warp_opt = false;
+  config_.sparsity_aware = sparse;
+  config_.csc_storage = sparse;
+}
+
+void CpuMoSystem::fit(const data::Dataset& train) {
+  core::GbmoBooster booster(config_, sim::DeviceSpec::cpu_server());
+  model_ = booster.fit(train);
+  report_ = booster.report();
+}
+
+std::vector<float> CpuMoSystem::predict(const data::DenseMatrix& x) const {
+  return model_.predict(x);
+}
+
+}  // namespace gbmo::baselines

@@ -1,0 +1,37 @@
+// CPU GBDT-MO reference baselines (the paper's mo-fu and mo-sp, from
+// Zhang & Jung's GBDT-MO implementation):
+//
+//   mo-fu — dense feature matrix: every (instance, feature) element is
+//           visited each level; sequential accesses, no zero skipping.
+//   mo-sp — CSC sparse storage: only non-zeros are visited, but every
+//           element pays the row-index indirection (§3.2's "higher overhead
+//           when locating attribute values"), which makes it *slower* than
+//           mo-fu on dense-ish datasets — exactly the relation in Table 4.
+//
+// Both run the identical training math (same splits, same trees, same
+// accuracy) on the CPU cost model (sim::DeviceSpec::cpu_server).
+#pragma once
+
+#include "baselines/system.h"
+
+namespace gbmo::baselines {
+
+class CpuMoSystem final : public AnySystem {
+ public:
+  CpuMoSystem(core::TrainConfig config, bool sparse);
+
+  std::string name() const override { return sparse_ ? "mo-sp" : "mo-fu"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<float> predict(const data::DenseMatrix& x) const override;
+  const core::TrainReport& report() const override { return report_; }
+
+  const core::Model& model() const { return model_; }
+
+ private:
+  core::TrainConfig config_;
+  bool sparse_;
+  core::Model model_;
+  core::TrainReport report_;
+};
+
+}  // namespace gbmo::baselines

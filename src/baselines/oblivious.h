@@ -1,0 +1,34 @@
+// CatBoost-like baseline: multi-output boosting with *oblivious* (symmetric)
+// trees — every node at a level shares the same (feature, bin) split, chosen
+// to maximize the summed gain across all nodes of the level. CatBoost's
+// MultiClass mode stores vector leaf values exactly like GBDT-MO, which is
+// why it is the most competitive baseline in the paper's Table 2; its kernels
+// however iterate densely (no zero-bin subtraction, no bin packing).
+#pragma once
+
+#include "baselines/system.h"
+
+namespace gbmo::baselines {
+
+class ObliviousBooster final : public AnySystem {
+ public:
+  ObliviousBooster(core::TrainConfig config, sim::DeviceSpec spec,
+                   sim::LinkSpec link);
+
+  std::string name() const override { return "catboost"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<float> predict(const data::DenseMatrix& x) const override;
+  const core::TrainReport& report() const override { return report_; }
+
+  const std::vector<core::Tree>& trees() const { return trees_; }
+
+ private:
+  core::TrainConfig config_;
+  sim::DeviceSpec spec_;
+  sim::LinkSpec link_;
+  int n_outputs_ = 0;
+  std::vector<core::Tree> trees_;
+  core::TrainReport report_;
+};
+
+}  // namespace gbmo::baselines

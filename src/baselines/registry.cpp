@@ -1,0 +1,71 @@
+#include <algorithm>
+
+#include "baselines/cpu_mo.h"
+#include "baselines/oblivious.h"
+#include "baselines/sketchboost.h"
+#include "baselines/so_booster.h"
+#include "baselines/system.h"
+#include "common/error.h"
+
+namespace gbmo::baselines {
+
+namespace {
+
+// "ours": the paper's system (core::GbmoBooster) behind the AnySystem
+// interface.
+class OursSystem final : public AnySystem {
+ public:
+  OursSystem(core::TrainConfig config, sim::DeviceSpec spec, sim::LinkSpec link)
+      : booster_(config, std::move(spec), link) {}
+
+  std::string name() const override { return "ours"; }
+  void fit(const data::Dataset& train) override { model_ = booster_.fit(train); }
+  std::vector<float> predict(const data::DenseMatrix& x) const override {
+    return model_.predict(x);
+  }
+  const core::TrainReport& report() const override { return booster_.report(); }
+
+ private:
+  core::GbmoBooster booster_;
+  core::Model model_;
+};
+
+}  // namespace
+
+std::vector<std::string> gpu_system_names() {
+  return {"catboost", "lightgbm", "xgboost", "sk-boost", "ours"};
+}
+
+std::vector<std::string> cpu_system_names() { return {"mo-fu", "mo-sp"}; }
+
+std::unique_ptr<AnySystem> make_system(const std::string& name,
+                                       core::TrainConfig config,
+                                       sim::DeviceSpec spec, sim::LinkSpec link) {
+  if (name == "ours") {
+    return std::make_unique<OursSystem>(config, std::move(spec), link);
+  }
+  if (name == "xgboost") {
+    return std::make_unique<SoBooster>(config, SoVariant::kXgbLike,
+                                       std::move(spec), link);
+  }
+  if (name == "lightgbm") {
+    return std::make_unique<SoBooster>(config, SoVariant::kLgbLike,
+                                       std::move(spec), link);
+  }
+  if (name == "catboost") {
+    return std::make_unique<ObliviousBooster>(config, std::move(spec), link);
+  }
+  if (name == "sk-boost") {
+    return std::make_unique<SketchBoostSystem>(config, std::move(spec), link);
+  }
+  if (name == "mo-fu") {
+    return std::make_unique<CpuMoSystem>(config, /*sparse=*/false);
+  }
+  if (name == "mo-sp") {
+    return std::make_unique<CpuMoSystem>(config, /*sparse=*/true);
+  }
+  GBMO_CHECK(false) << "unknown system: " << name;
+  throw Error("unreachable");
+}
+
+}  // namespace gbmo::baselines

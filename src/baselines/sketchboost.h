@@ -1,0 +1,37 @@
+// SketchBoost baseline (Iosipoi & Vakhrushev 2022): multi-output GBDT where
+// *split search* runs on a sketch of the gradient matrix — here the Top-K
+// output dimensions by total |gradient| — while leaf values are fitted on
+// all d outputs. This decouples split-finding cost from d (the flat curve in
+// the paper's Figure 6b) at a small quality cost, plus the py-boost
+// framework's per-round dispatch overhead.
+#pragma once
+
+#include "baselines/system.h"
+#include "core/grower.h"
+
+namespace gbmo::baselines {
+
+class SketchBoostSystem final : public AnySystem {
+ public:
+  SketchBoostSystem(core::TrainConfig config, sim::DeviceSpec spec,
+                    sim::LinkSpec link, int top_k = 10);
+
+  std::string name() const override { return "sk-boost"; }
+  void fit(const data::Dataset& train) override;
+  std::vector<float> predict(const data::DenseMatrix& x) const override;
+  const core::TrainReport& report() const override { return report_; }
+
+  int top_k() const { return top_k_; }
+  const std::vector<core::Tree>& trees() const { return trees_; }
+
+ private:
+  core::TrainConfig config_;
+  sim::DeviceSpec spec_;
+  sim::LinkSpec link_;
+  int top_k_;
+  int n_outputs_ = 0;
+  std::vector<core::Tree> trees_;  // full-d leaf vectors
+  core::TrainReport report_;
+};
+
+}  // namespace gbmo::baselines

@@ -1,0 +1,46 @@
+// GBDT-SO baselines: d single-output ensembles trained side by side, the
+// strategy XGBoost and LightGBM use for multiclass/multilabel tasks (§2.1,
+// Figure 1 left). Each boosting round computes the multi-output gradients
+// once, then grows one single-output tree per output dimension.
+//
+// Variants:
+//   kXgbLike — level-wise exact growth, fully on-device (XGBoost `gpu_hist`).
+//   kLgbLike — leaf-wise growth to 2^depth leaves; histograms are copied to
+//              the host for split finding after every split, modeling
+//              LightGBM's split CPU/GPU design — the transfer+sync cost is
+//              why it trails the fully-GPU systems in the paper's Table 2.
+#pragma once
+
+#include "baselines/system.h"
+#include "core/grower.h"
+
+namespace gbmo::baselines {
+
+enum class SoVariant { kXgbLike, kLgbLike };
+
+class SoBooster final : public AnySystem {
+ public:
+  SoBooster(core::TrainConfig config, SoVariant variant, sim::DeviceSpec spec,
+            sim::LinkSpec link);
+
+  std::string name() const override {
+    return variant_ == SoVariant::kXgbLike ? "xgboost" : "lightgbm";
+  }
+  void fit(const data::Dataset& train) override;
+  std::vector<float> predict(const data::DenseMatrix& x) const override;
+  const core::TrainReport& report() const override { return report_; }
+
+  // Per-class ensembles (n_outputs == 1 trees), exposed for tests.
+  const std::vector<std::vector<core::Tree>>& ensembles() const { return trees_; }
+
+ private:
+  core::TrainConfig config_;
+  SoVariant variant_;
+  sim::DeviceSpec spec_;
+  sim::LinkSpec link_;
+  int n_outputs_ = 0;
+  std::vector<std::vector<core::Tree>> trees_;  // [class][round]
+  core::TrainReport report_;
+};
+
+}  // namespace gbmo::baselines

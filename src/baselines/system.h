@@ -1,0 +1,57 @@
+// Unified interface over every trainable system in the evaluation:
+//
+//   ours      — the paper's GBDT-MO system (core::GbmoBooster)
+//   mo-fu     — GBDT-MO reference, CPU, dense storage   [Zhang & Jung 2020]
+//   mo-sp     — GBDT-MO reference, CPU, CSC storage
+//   xgboost   — GPU GBDT-SO: d level-wise single-output ensembles
+//   lightgbm  — GPU GBDT-SO: d leaf-wise single-output ensembles
+//   catboost  — GPU multi-output with oblivious (symmetric) trees
+//   sk-boost  — SketchBoost: GBDT-MO with Top-K output sketching
+//
+// All baselines are re-implementations of the *algorithms* on the shared
+// simulated substrate, so the timing comparison isolates the algorithmic
+// strategy (see DESIGN.md §1 for why this matches the paper's evaluation).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/booster.h"
+#include "core/config.h"
+#include "data/matrix.h"
+#include "sim/collectives.h"
+
+namespace gbmo::baselines {
+
+class AnySystem {
+ public:
+  virtual ~AnySystem() = default;
+  virtual std::string name() const = 0;
+
+  // Trains on the dataset; the report is valid afterwards.
+  virtual void fit(const data::Dataset& train) = 0;
+
+  // Raw additive scores, [i * d + k] layout, d = train's output dimension.
+  virtual std::vector<float> predict(const data::DenseMatrix& x) const = 0;
+
+  virtual const core::TrainReport& report() const = 0;
+
+  core::EvalResult evaluate(const data::Dataset& d) const {
+    const auto scores = predict(d.x);
+    return core::evaluate_primary(scores, d.y);
+  }
+};
+
+// Known system names, in the paper's table order.
+std::vector<std::string> gpu_system_names();  // catboost lightgbm xgboost sk-boost ours
+std::vector<std::string> cpu_system_names();  // mo-fu mo-sp
+
+// Factory. The config's n_devices/multi_gpu fields apply to the GPU systems;
+// CPU systems ignore the device spec and run on the CPU cost model.
+std::unique_ptr<AnySystem> make_system(
+    const std::string& name, core::TrainConfig config,
+    sim::DeviceSpec spec = sim::DeviceSpec::rtx4090(),
+    sim::LinkSpec link = sim::LinkSpec::pcie4());
+
+}  // namespace gbmo::baselines

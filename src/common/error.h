@@ -1,0 +1,60 @@
+// Error handling primitives: checked invariants that throw gbmo::Error.
+//
+// GBMO_CHECK is used for user-facing argument validation (always on).
+// GBMO_DCHECK is for internal invariants and compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gbmo {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GBMO check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Tiny stream accumulator so GBMO_CHECK(cond) << "context" works lazily.
+class CheckMessage {
+ public:
+  CheckMessage(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    throw_check_failure(cond_, file_, line_, os_.str());
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gbmo
+
+#define GBMO_CHECK(cond)                                          \
+  if (cond) {                                                     \
+  } else                                                          \
+    ::gbmo::detail::CheckMessage(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define GBMO_DCHECK(cond) GBMO_CHECK(true || (cond))
+#else
+#define GBMO_DCHECK(cond) GBMO_CHECK(cond)
+#endif

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gbmo {
+namespace {
+
+std::atomic<int> g_level{[] {
+  if (const char* env = std::getenv("GBMO_LOG_LEVEL")) {
+    return std::atoi(env);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}()};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    default:
+      return "     ";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[gbmo %s] %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace gbmo

@@ -1,0 +1,40 @@
+// Minimal leveled logger writing to stderr. Level is a process-global set via
+// set_log_level or the GBMO_LOG_LEVEL environment variable (0=off .. 3=debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gbmo {
+
+enum class LogLevel : int { kOff = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled()) os_ << v;
+    return *this;
+  }
+  ~LogLine() {
+    if (enabled()) log_message(level_, os_.str());
+  }
+
+ private:
+  bool enabled() const { return static_cast<int>(level_) <= static_cast<int>(log_level()); }
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace gbmo
+
+#define GBMO_LOG_WARN ::gbmo::detail::LogLine(::gbmo::LogLevel::kWarn)
+#define GBMO_LOG_INFO ::gbmo::detail::LogLine(::gbmo::LogLevel::kInfo)
+#define GBMO_LOG_DEBUG ::gbmo::detail::LogLine(::gbmo::LogLevel::kDebug)

@@ -1,0 +1,31 @@
+// Fixed-width plain-text table printer used by the benchmark harness to emit
+// paper-style tables (paper reference value next to the reproduced value).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gbmo {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a row; cells are stringified by the caller. Row length must match
+  // the header length.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats a double with the given precision ("-" for NaN).
+  static std::string num(double v, int precision = 2);
+
+  // Renders with column alignment and a header separator.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gbmo

@@ -1,0 +1,47 @@
+// A small fixed-size thread pool with a parallel_for convenience wrapper.
+//
+// The GPU simulator distributes thread blocks over this pool. On single-core
+// hosts (hardware_concurrency == 1) the pool degenerates to inline execution,
+// which keeps the functional simulation deterministic and cheap.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gbmo {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects hardware concurrency; 1 means inline execution.
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  // Runs fn(i) for i in [0, n) and blocks until all iterations complete.
+  // Iterations are chunked to limit scheduling overhead.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide pool sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace gbmo

@@ -1,0 +1,277 @@
+#include "core/booster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/gradients.h"
+#include "sim/cost_model.h"
+#include "sim/launch.h"
+
+namespace gbmo::core {
+
+std::vector<float> Model::predict_staged(const data::DenseMatrix& x,
+                                         std::size_t n_trees) const {
+  const std::span<const Tree> prefix(trees.data(), std::min(n_trees, trees.size()));
+  if (prefix.empty()) {
+    return std::vector<float>(x.n_rows() * static_cast<std::size_t>(n_outputs), 0.0f);
+  }
+  return predict_scores(prefix, x, n_outputs);
+}
+
+std::vector<float> Model::predict_proba(const data::DenseMatrix& x) const {
+  auto scores = predict(x);
+  const auto d = static_cast<std::size_t>(n_outputs);
+  switch (task) {
+    case data::TaskKind::kMulticlass:
+      for (std::size_t i = 0; i < x.n_rows(); ++i) {
+        float* s = scores.data() + i * d;
+        float max_s = s[0];
+        for (std::size_t k = 1; k < d; ++k) max_s = std::max(max_s, s[k]);
+        float sum = 0.0f;
+        for (std::size_t k = 0; k < d; ++k) {
+          s[k] = std::exp(s[k] - max_s);
+          sum += s[k];
+        }
+        for (std::size_t k = 0; k < d; ++k) s[k] /= sum;
+      }
+      break;
+    case data::TaskKind::kMultilabel:
+      for (auto& s : scores) s = 1.0f / (1.0f + std::exp(-s));
+      break;
+    case data::TaskKind::kMultiregression:
+      break;  // raw scores are the predictions
+  }
+  return scores;
+}
+
+double TrainReport::extrapolate_seconds(int n_trees) const {
+  if (per_tree_seconds.empty()) return modeled_seconds;
+  // Skip the first tree (cold caches / first-touch effects are not modeled,
+  // but root-level setup is) and average the rest.
+  double sum = 0.0;
+  std::size_t count = 0;
+  const std::size_t skip = per_tree_seconds.size() > 1 ? 1 : 0;
+  for (std::size_t i = skip; i < per_tree_seconds.size(); ++i) {
+    sum += per_tree_seconds[i];
+    ++count;
+  }
+  const double per_tree = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  return setup_seconds + per_tree * n_trees;
+}
+
+double TrainReport::histogram_fraction() const {
+  double hist = 0.0;
+  double total = 0.0;
+  for (const auto& [phase, sec] : phase_seconds) {
+    total += sec;
+    if (phase == "histogram") hist += sec;
+  }
+  return total > 0 ? hist / total : 0.0;
+}
+
+GbmoBooster::GbmoBooster(TrainConfig config, sim::DeviceSpec spec,
+                         sim::LinkSpec link)
+    : config_(config), spec_(std::move(spec)), link_(link) {}
+
+Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
+                       const data::Dataset* valid) {
+  const std::size_t n = train.n_instances();
+  const int d = train.n_outputs();
+  GBMO_CHECK(n > 0 && d >= 1);
+
+  sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
+  report_ = TrainReport{};
+
+  // --- setup: quantization, binning, packing, transfers -------------------
+  group.set_phase("setup");
+  data::BinCuts cuts = data::BinCuts::build(train.x, config_.max_bins);
+  data::BinnedMatrix binned(train.x, cuts);
+  if (config_.warp_opt) binned.pack();
+
+  {
+    // Binning kernel + host->device transfer of the (packed) bin matrix and
+    // labels, charged per device (feature-parallel replicates rows; a
+    // device's share of columns is what it receives, approximated as the
+    // full matrix divided evenly).
+    const std::uint64_t bin_bytes = binned.byte_size();
+    for (int i = 0; i < group.size(); ++i) {
+      auto& dev = group.device(i);
+      sim::KernelStats s;
+      s.blocks = std::max<std::uint64_t>(1, n / 256);
+      s.gmem_coalesced_bytes =
+          static_cast<std::uint64_t>(n) * train.n_features() * (sizeof(float) + 1);
+      s.flops = static_cast<std::uint64_t>(n) * train.n_features() * 8;  // search
+      dev.add_stats(s);
+      dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+      dev.add_modeled_time(static_cast<double>(bin_bytes) /
+                               static_cast<double>(group.size()) /
+                               dev.spec().pcie_bandwidth +
+                           1e-4);
+      dev.note_alloc(bin_bytes / static_cast<std::size_t>(group.size()) +
+                     n * static_cast<std::size_t>(d) * 4 * sizeof(float));
+    }
+  }
+
+  // Optional CSC view for the §3.2 level-sweep build path.
+  std::unique_ptr<data::BinnedCscMatrix> csc;
+  if (config_.csc_level_sweep) {
+    csc = std::make_unique<data::BinnedCscMatrix>(binned, cuts);
+    for (int i = 0; i < group.size(); ++i) {
+      auto& dev = group.device(i);
+      dev.note_alloc(csc->byte_size() / static_cast<std::size_t>(group.size()));
+      dev.add_modeled_time(static_cast<double>(csc->byte_size()) /
+                           static_cast<double>(group.size()) /
+                           dev.spec().pcie_bandwidth);
+    }
+  }
+
+  GrowerContext ctx = GrowerContext::create(binned, cuts, d, config_);
+  ctx.csc = csc.get();
+  TreeGrower grower(group, ctx);
+
+  std::unique_ptr<Loss> default_loss;
+  const Loss* loss = loss_override;
+  if (loss == nullptr) {
+    default_loss = Loss::default_for(train.task());
+    loss = default_loss.get();
+  }
+
+  std::vector<float> scores(n * static_cast<std::size_t>(d), 0.0f);
+  std::vector<float> g(scores.size());
+  std::vector<float> h(scores.size());
+
+  Model model;
+  model.task = train.task();
+  model.n_outputs = d;
+  model.cuts = cuts;
+  model.trees.reserve(static_cast<std::size_t>(config_.n_trees));
+
+  report_.setup_seconds = group.max_modeled_seconds();
+  double prev_total = report_.setup_seconds;
+
+  // Stochastic boosting state (both samplers default off = paper setup).
+  Rng sampler(config_.seed ^ 0x5b0057e12ULL);
+  std::vector<std::uint32_t> sampled_rows;
+  std::vector<std::uint32_t> sampled_features;
+  std::vector<float> valid_scores;
+  if (valid != nullptr) {
+    valid_scores.assign(valid->n_instances() * static_cast<std::size_t>(d), 0.0f);
+  }
+  double best_valid = 0.0;
+  int rounds_since_best = 0;
+  std::size_t best_tree_count = 0;
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    // Stage 1: gradients from the current predictions (replicated per device
+    // — every device needs g/h for its feature columns' histogram work).
+    group.set_phase("gradient");
+    for (int i = 0; i < group.size(); ++i) {
+      compute_gradients(group.device(i), *loss, scores, train.y, g, h);
+    }
+
+    // Row / feature sampling for this tree (stochastic boosting).
+    sampled_rows.clear();
+    if (config_.subsample < 1.0) {
+      for (std::uint32_t r = 0; r < n; ++r) {
+        if (sampler.bernoulli(config_.subsample)) sampled_rows.push_back(r);
+      }
+      if (sampled_rows.empty()) sampled_rows.push_back(sampler.next_u32() % n);
+    }
+    sampled_features.clear();
+    if (config_.colsample_bytree < 1.0) {
+      for (std::uint32_t f = 0; f < train.n_features(); ++f) {
+        if (sampler.bernoulli(config_.colsample_bytree)) sampled_features.push_back(f);
+      }
+      if (sampled_features.empty()) {
+        sampled_features.push_back(
+            static_cast<std::uint32_t>(sampler.next_u32() % train.n_features()));
+      }
+    }
+
+    // Stages 2+3: histogram construction, split selection, partitioning
+    // (the grower switches phases internally).
+    GrownTree grown = grower.grow(g, h, sampled_rows, sampled_features);
+
+    // Rows outside the sample were never partitioned: route them through the
+    // fresh tree by binned traversal so the incremental update covers all n.
+    if (!sampled_rows.empty()) {
+      std::uint64_t routed = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (grown.leaf_of_row[r] >= 0) continue;
+        grown.leaf_of_row[r] = grown.tree.find_leaf_binned([&](std::int32_t f) {
+          return binned.bin(r, static_cast<std::size_t>(f));
+        });
+        ++routed;
+      }
+      sim::KernelStats s;
+      s.blocks = std::max<std::uint64_t>(1, routed / 256);
+      s.gmem_random_accesses =
+          routed * static_cast<std::uint64_t>(config_.max_depth) * 2;
+      auto& dev = group.device(0);
+      dev.add_stats(s);
+      dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+    }
+
+    // Prediction update via training-time leaf assignment (§3.1.1).
+    group.set_phase("update");
+    for (int i = 0; i < group.size(); ++i) {
+      // The kernel is replicated per device (feature-parallel keeps a full
+      // score copy everywhere); the host-side array is updated once.
+      update_scores_from_leaves(group.device(i), grown.tree, grown.leaf_of_row,
+                                scores, /*apply=*/i == 0);
+      if (config_.multi_gpu == MultiGpuMode::kDataParallel) break;
+    }
+
+    model.trees.push_back(std::move(grown.tree));
+    const double total = group.max_modeled_seconds();
+    report_.per_tree_seconds.push_back(total - prev_total);
+    prev_total = total;
+
+    // Validation monitoring + early stopping.
+    if (valid != nullptr) {
+      sim::Device eval_dev(spec_);  // inference cost not part of training time
+      std::vector<float> tree_scores(valid_scores.size(), 0.0f);
+      predict_scores_device(eval_dev, {&model.trees.back(), 1}, valid->x,
+                            tree_scores);
+      for (std::size_t i = 0; i < valid_scores.size(); ++i) {
+        valid_scores[i] += tree_scores[i];
+      }
+      const auto eval = evaluate_primary(valid_scores, valid->y);
+      report_.valid_metric_per_tree.push_back(eval.value);
+      const bool improved =
+          model.trees.size() == 1 ||
+          (eval.higher_is_better ? eval.value > best_valid : eval.value < best_valid);
+      if (improved) {
+        best_valid = eval.value;
+        rounds_since_best = 0;
+        best_tree_count = model.trees.size();
+      } else if (config_.early_stopping_rounds > 0 &&
+                 ++rounds_since_best >= config_.early_stopping_rounds) {
+        report_.early_stopped = true;
+        model.trees.resize(best_tree_count);
+        break;
+      }
+    }
+  }
+
+  report_.modeled_seconds = group.max_modeled_seconds();
+  report_.trees_trained = static_cast<int>(model.trees.size());
+  report_.final_train_loss = loss->value(scores, train.y);
+  for (int i = 0; i < group.size(); ++i) {
+    report_.peak_device_bytes =
+        std::max(report_.peak_device_bytes, group.device(i).peak_allocated_bytes());
+  }
+  // Phase map of the slowest device (phases run in lockstep across devices).
+  double max_total = -1.0;
+  for (int i = 0; i < group.size(); ++i) {
+    if (group.device(i).modeled_seconds() > max_total) {
+      max_total = group.device(i).modeled_seconds();
+      report_.phase_seconds = group.device(i).phase_seconds();
+    }
+  }
+  return model;
+}
+
+}  // namespace gbmo::core

@@ -1,0 +1,94 @@
+// GbmoBooster: the end-to-end GBDT-MO training system (Figure 2).
+//
+// fit() runs the three-stage pipeline — gradient computation, histogram
+// construction / split-candidate generation, split selection + partitioning —
+// for every tree on a simulated device group, and returns the trained Model
+// together with a TrainReport carrying modeled per-phase timings, per-tree
+// timings (for extrapolation to larger tree counts) and memory peaks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/grower.h"
+#include "core/loss.h"
+#include "core/metrics.h"
+#include "core/predictor.h"
+#include "core/tree.h"
+#include "data/matrix.h"
+#include "data/quantize.h"
+#include "sim/collectives.h"
+
+namespace gbmo::core {
+
+struct Model {
+  data::TaskKind task = data::TaskKind::kMultiregression;
+  int n_outputs = 0;
+  data::BinCuts cuts;
+  std::vector<Tree> trees;
+
+  // Raw additive scores for a feature matrix (host-side convenience).
+  std::vector<float> predict(const data::DenseMatrix& x) const {
+    return predict_scores(trees, x, n_outputs);
+  }
+  // Scores of the first `n_trees` trees only (learning-curve inspection).
+  std::vector<float> predict_staged(const data::DenseMatrix& x,
+                                    std::size_t n_trees) const;
+  // Task-appropriate probabilities: softmax over classes (multiclass) or
+  // per-output sigmoid (multilabel); identity for regression.
+  std::vector<float> predict_proba(const data::DenseMatrix& x) const;
+  // Primary metric on a labelled dataset.
+  EvalResult evaluate(const data::Dataset& d) const {
+    const auto scores = predict(d.x);
+    return evaluate_primary(scores, d.y);
+  }
+};
+
+struct TrainReport {
+  double modeled_seconds = 0.0;  // max over devices (devices run concurrently)
+  std::map<std::string, double> phase_seconds;
+  std::vector<double> per_tree_seconds;
+  double setup_seconds = 0.0;    // quantization + transfers before tree 0
+  std::size_t peak_device_bytes = 0;
+  double final_train_loss = 0.0;
+  int trees_trained = 0;
+  // Validation trace (one entry per tree) when fit() received a validation
+  // set; early stopping reads this.
+  std::vector<double> valid_metric_per_tree;
+  bool early_stopped = false;
+
+  // Extrapolates the modeled time to `n_trees` from the steady-state
+  // per-tree cost (tree time is constant across boosting rounds: every tree
+  // processes all instances at every level).
+  double extrapolate_seconds(int n_trees) const;
+  double histogram_fraction() const;  // Fig. 4's ratio
+};
+
+class GbmoBooster {
+ public:
+  explicit GbmoBooster(TrainConfig config,
+                       sim::DeviceSpec spec = sim::DeviceSpec::rtx4090(),
+                       sim::LinkSpec link = sim::LinkSpec::pcie4());
+
+  // Trains on the dataset with the task's default loss (or a caller-supplied
+  // one) and returns the model. The report refers to the latest fit.
+  // With a validation set and config.early_stopping_rounds > 0, training
+  // stops once the primary validation metric fails to improve for that many
+  // consecutive trees, returning the best-so-far prefix of trees.
+  Model fit(const data::Dataset& train, const Loss* loss = nullptr,
+            const data::Dataset* valid = nullptr);
+
+  const TrainReport& report() const { return report_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+  sim::DeviceSpec spec_;
+  sim::LinkSpec link_;
+  TrainReport report_;
+};
+
+}  // namespace gbmo::core

@@ -1,0 +1,60 @@
+// Training configuration. Defaults follow the paper's experimental setup
+// (§4.1): 100 trees, depth 7, learning rate 1, min 20 instances per node,
+// 256 bins.
+#pragma once
+
+#include <cstdint>
+
+namespace gbmo::core {
+
+enum class HistMethod : std::uint8_t {
+  kAuto,        // adaptive selection per node/level (§3.3, the default)
+  kGlobal,      // global-memory atomicAdd (§3.3.2)
+  kShared,      // shared-memory tiles (§3.3.3)
+  kSortReduce,  // sort_by_key + reduce_by_key (§3.3.4)
+};
+
+const char* hist_method_name(HistMethod m);
+
+enum class MultiGpuMode : std::uint8_t {
+  kFeatureParallel,  // columns partitioned across devices (§3.4.2)
+  kDataParallel,     // rows partitioned, histograms all-reduced
+};
+
+struct TrainConfig {
+  int n_trees = 100;
+  int max_depth = 7;               // number of split levels below the root
+  float learning_rate = 1.0f;
+  int min_instances_per_node = 20;
+  int max_bins = 256;
+  float lambda_l2 = 1.0f;          // λ in Eq. (2)/(3)
+  float min_split_gain = 1e-6f;    // γ threshold for valid splits
+
+  HistMethod hist_method = HistMethod::kAuto;
+  bool warp_opt = true;            // bin packing + warp-level access (§3.4.1)
+  bool sparsity_aware = true;      // skip zero-bin work, reconstruct by subtraction
+  bool csc_storage = false;        // CSC element indirection (mo-sp baseline):
+                                   // every nonzero pays an extra random access
+  bool csc_level_sweep = false;    // build histograms by streaming the binned
+                                   // CSC entries once per level (§3.2) instead
+                                   // of dense per-node passes; work becomes
+                                   // proportional to nnz (single-device and
+                                   // feature-parallel modes)
+  bool sibling_subtraction = true; // build smaller child, derive larger one
+  double segments_per_block_c = 4.0;  // C in the adaptive segment mapping (§3.1.3)
+
+  int n_devices = 1;
+  MultiGpuMode multi_gpu = MultiGpuMode::kFeatureParallel;
+
+  // Stochastic boosting (extensions beyond the paper's evaluation setup;
+  // both default off = the paper's configuration):
+  double subsample = 1.0;          // row fraction sampled per tree
+  double colsample_bytree = 1.0;   // feature fraction sampled per tree
+  // Stop after this many trees without validation improvement (0 = off;
+  // requires a validation set passed to fit()).
+  int early_stopping_rounds = 0;
+
+  std::uint64_t seed = 0;
+};
+
+}  // namespace gbmo::core

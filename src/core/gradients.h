@@ -1,0 +1,27 @@
+// GPU kernels for stage 1 of the pipeline (§3.1.1): evaluating the loss's
+// first/second-order derivatives for every (instance, output) pair.
+#pragma once
+
+#include <span>
+
+#include "core/loss.h"
+#include "data/matrix.h"
+#include "sim/device.h"
+#include "sim/primitives.h"
+
+namespace gbmo::core {
+
+// Computes g/h from the current scores. All arrays use [i * d + k] layout.
+// One simulated thread handles one instance and loops its d outputs, which
+// keeps both score reads and gradient writes coalesced.
+void compute_gradients(sim::Device& dev, const Loss& loss,
+                       std::span<const float> scores, const data::Labels& y,
+                       std::span<float> g, std::span<float> h);
+
+// Sums g/h over a set of instances (the node-totals reduction used by the
+// grower and the leaf-value computation). `rows` selects the instances.
+void reduce_gradients(sim::Device& dev, std::span<const float> g,
+                      std::span<const float> h, std::span<const std::uint32_t> rows,
+                      int n_outputs, std::span<sim::GradPair> totals);
+
+}  // namespace gbmo::core

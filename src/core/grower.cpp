@@ -1,0 +1,525 @@
+#include "core/grower.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/gradients.h"
+#include "sim/cost_model.h"
+#include "sim/launch.h"
+
+namespace gbmo::core {
+
+GrowerContext GrowerContext::create(const data::BinnedMatrix& bins,
+                                    const data::BinCuts& cuts, int n_outputs,
+                                    const TrainConfig& config) {
+  GrowerContext ctx;
+  ctx.bins = &bins;
+  ctx.cuts = &cuts;
+  ctx.layout = HistogramLayout(cuts, n_outputs);
+  ctx.config = config;
+
+  const int k = std::max(1, config.n_devices);
+  const std::size_t m = bins.n_cols();
+  ctx.device_features.resize(static_cast<std::size_t>(k));
+  // Contiguous feature chunks (better transfer locality than round-robin).
+  const std::size_t chunk = (m + static_cast<std::size_t>(k) - 1) / static_cast<std::size_t>(k);
+  for (int i = 0; i < k; ++i) {
+    const std::size_t lo = static_cast<std::size_t>(i) * chunk;
+    const std::size_t hi = std::min(m, lo + chunk);
+    for (std::size_t f = lo; f < hi; ++f) {
+      ctx.device_features[static_cast<std::size_t>(i)].push_back(
+          static_cast<std::uint32_t>(f));
+    }
+  }
+
+  const std::size_t n = bins.n_rows();
+  ctx.device_row_bounds.resize(static_cast<std::size_t>(k) + 1);
+  for (int i = 0; i <= k; ++i) {
+    ctx.device_row_bounds[static_cast<std::size_t>(i)] =
+        static_cast<std::uint32_t>(n * static_cast<std::size_t>(i) /
+                                   static_cast<std::size_t>(k));
+  }
+  return ctx;
+}
+
+TreeGrower::TreeGrower(sim::DeviceGroup& group, const GrowerContext& ctx)
+    : group_(group), ctx_(ctx), builder_(make_builder(ctx.config.hist_method)) {
+  GBMO_CHECK(group.size() == std::max(1, ctx.config.n_devices));
+  all_features_.resize(ctx.bins->n_cols());
+  std::iota(all_features_.begin(), all_features_.end(), 0u);
+}
+
+void TreeGrower::build_node_histogram(const ActiveNode& node, NodeHistogram& out,
+                                      std::span<const float> g,
+                                      std::span<const float> h) {
+  const auto& cfg = ctx_.config;
+  // Row span of this node in the (grow-local) row order is provided via the
+  // totals/slice captured below by the caller; histogram input row list is
+  // stored on the node by the caller through node_rows_.
+  HistBuildInput in;
+  in.bins = ctx_.bins;
+  in.g = g;
+  in.h = h;
+  in.layout = &ctx_.layout;
+  in.packed = cfg.warp_opt && ctx_.bins->packed();
+  in.sparsity_aware = cfg.sparsity_aware;
+  in.csc_indirection = cfg.csc_storage;
+  in.node_totals = node.totals;
+  in.node_count = node.count();
+  in.node_rows = node_rows_;
+
+  if (group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kFeatureParallel) {
+    // Feature-parallel: each device accumulates its own feature columns into
+    // disjoint slots of the shared histogram.
+    for (int i = 0; i < group_.size(); ++i) {
+      const auto& feats = grow_device_features_[static_cast<std::size_t>(i)];
+      if (feats.empty()) continue;
+      HistBuildInput dev_in = in;
+      dev_in.features = feats;
+      builder_->build(group_.device(i), dev_in, out);
+    }
+    return;
+  }
+
+  // Data-parallel: each device builds a partial histogram from its own rows
+  // over all features; partials are summed with a ring all-reduce.
+  const int k = group_.size();
+  std::vector<NodeHistogram> partials(static_cast<std::size_t>(k));
+  std::vector<std::vector<std::uint32_t>> dev_rows(static_cast<std::size_t>(k));
+  for (std::uint32_t r : node_rows_) {
+    // Row ownership by original id range.
+    const auto it = std::upper_bound(ctx_.device_row_bounds.begin(),
+                                     ctx_.device_row_bounds.end(), r);
+    const int owner = static_cast<int>(it - ctx_.device_row_bounds.begin()) - 1;
+    dev_rows[static_cast<std::size_t>(owner)].push_back(r);
+  }
+  std::vector<std::span<float>> sum_spans;
+  for (int i = 0; i < k; ++i) {
+    auto& part = partials[static_cast<std::size_t>(i)];
+    part.resize(ctx_.layout);
+    HistBuildInput dev_in = in;
+    dev_in.features = grow_features_;
+    dev_in.node_rows = dev_rows[static_cast<std::size_t>(i)];
+    dev_in.node_count = static_cast<std::uint32_t>(dev_rows[static_cast<std::size_t>(i)].size());
+    // Per-device totals for this device's row subset (needed by the zero-bin
+    // reconstruction; the per-device reconstructions sum to the global one).
+    std::vector<sim::GradPair> dev_totals(static_cast<std::size_t>(ctx_.layout.n_outputs()));
+    reduce_gradients(group_.device(i), g, h, dev_in.node_rows,
+                     ctx_.layout.n_outputs(), dev_totals);
+    dev_in.node_totals = dev_totals;
+    builder_->build(group_.device(i), dev_in, part);
+    sum_spans.push_back(
+        {reinterpret_cast<float*>(part.sums.data()), part.sums.size() * 2});
+  }
+  group_.all_reduce_sum(sum_spans);
+  std::vector<std::span<std::uint32_t>> count_spans;
+  count_spans.reserve(static_cast<std::size_t>(k));
+  for (auto& part : partials) count_spans.push_back(part.counts);
+  group_.all_reduce_sum_u32(count_spans);
+  out.sums = std::move(partials[0].sums);
+  out.counts = std::move(partials[0].counts);
+}
+
+SplitResult TreeGrower::select_split(const ActiveNode& node,
+                                     const NodeHistogram& hist) {
+  NodeSplitInput input{&hist, node.totals, node.count()};
+  return select_splits({&input, 1})[0];
+}
+
+std::vector<SplitResult> TreeGrower::select_splits(
+    std::span<const NodeSplitInput> inputs) {
+  const auto& cfg = ctx_.config;
+  if (group_.size() == 1) {
+    return find_best_splits(group_.device(0), ctx_.layout, inputs,
+                            grow_features_, cfg, split_scratch_);
+  }
+
+  if (cfg.multi_gpu == MultiGpuMode::kDataParallel) {
+    // Histograms are replicated after the all-reduce; every device evaluates
+    // the full feature set (replicated compute beats another exchange).
+    std::vector<SplitResult> res;
+    for (int i = 0; i < group_.size(); ++i) {
+      res = find_best_splits(group_.device(i), ctx_.layout, inputs,
+                             grow_features_, cfg, split_scratch_);
+    }
+    return res;
+  }
+
+  // Feature-parallel: local best per device over its feature subset, then a
+  // per-node arg-max all-reduce over the device-local winners.
+  std::vector<std::vector<SplitResult>> local(static_cast<std::size_t>(group_.size()));
+  for (int i = 0; i < group_.size(); ++i) {
+    const auto& feats = grow_device_features_[static_cast<std::size_t>(i)];
+    if (feats.empty()) {
+      local[static_cast<std::size_t>(i)].resize(inputs.size());
+    } else {
+      local[static_cast<std::size_t>(i)] = find_best_splits(
+          group_.device(i), ctx_.layout, inputs, feats, cfg, split_scratch_);
+    }
+  }
+  // The whole level's candidates travel in one exchange (nodes x msg bytes,
+  // one ring round), then every device applies the same deterministic
+  // max-gain / lowest-device-id rule.
+  std::vector<SplitResult> results(inputs.size());
+  for (std::size_t ni = 0; ni < inputs.size(); ++ni) {
+    int best_dev = -1;
+    for (int i = 0; i < group_.size(); ++i) {
+      const auto& r = local[static_cast<std::size_t>(i)][ni];
+      if (!r.valid()) continue;
+      if (best_dev < 0 ||
+          r.gain > local[static_cast<std::size_t>(best_dev)][ni].gain) {
+        best_dev = i;
+      }
+    }
+    if (best_dev >= 0) results[ni] = local[static_cast<std::size_t>(best_dev)][ni];
+  }
+  group_.charge_broadcast(2 * inputs.size() * sizeof(sim::BestSplitMsg), 0);
+  return results;
+}
+
+void TreeGrower::compute_leaf(Tree& tree, const ActiveNode& node,
+                              std::span<const std::uint32_t> row_order,
+                              std::vector<std::int32_t>& leaf_of_row) {
+  const int d = ctx_.layout.n_outputs();
+  const float lr = ctx_.config.learning_rate;
+  const float lambda = ctx_.config.lambda_l2;
+  std::vector<float> values(static_cast<std::size_t>(d));
+  for (int k = 0; k < d; ++k) {
+    const auto& t = node.totals[static_cast<std::size_t>(k)];
+    values[static_cast<std::size_t>(k)] = -lr * t.g / (t.h + lambda);
+  }
+  tree.set_leaf(node.tree_node, values);
+  for (std::uint32_t i = node.begin; i < node.end; ++i) {
+    leaf_of_row[row_order[i]] = node.tree_node;
+  }
+  // Leaf-value math + leaf-assignment scatter, accumulated into one
+  // finalize-leaves kernel per tree (flushed at the end of grow()).
+  pending_leaf_stats_.flops += static_cast<std::uint64_t>(d) * 3;
+  pending_leaf_stats_.gmem_coalesced_bytes +=
+      static_cast<std::uint64_t>(node.count()) * sizeof(std::int32_t) +
+      static_cast<std::uint64_t>(d) * sizeof(float);
+  has_pending_leaf_charges_ = true;
+}
+
+void TreeGrower::flush_leaf_charges() {
+  if (!has_pending_leaf_charges_) return;
+  group_.set_phase("leaf");
+  pending_leaf_stats_.blocks = std::max<std::uint64_t>(
+      1, pending_leaf_stats_.gmem_coalesced_bytes / (256 * sizeof(std::int32_t)));
+  auto& dev = group_.device(0);
+  dev.add_stats(pending_leaf_stats_);
+  dev.add_modeled_time(
+      sim::CostModel(dev.spec()).kernel_seconds(pending_leaf_stats_));
+  pending_leaf_stats_ = sim::KernelStats{};
+  has_pending_leaf_charges_ = false;
+}
+
+GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
+                           std::span<const std::uint32_t> sampled_rows,
+                           std::span<const std::uint32_t> sampled_features) {
+  const std::size_t n = ctx_.bins->n_rows();
+  const int d = ctx_.layout.n_outputs();
+  const auto& cfg = ctx_.config;
+  GBMO_CHECK(g.size() == n * static_cast<std::size_t>(d));
+  GBMO_CHECK(h.size() == g.size());
+
+  // Resolve this tree's feature view: full set, or the sampled subset
+  // intersected with each device's column partition.
+  if (sampled_features.empty()) {
+    grow_features_ = all_features_;
+    grow_device_features_ = ctx_.device_features;
+  } else {
+    grow_features_.assign(sampled_features.begin(), sampled_features.end());
+    std::vector<bool> keep(ctx_.bins->n_cols(), false);
+    for (std::uint32_t f : sampled_features) keep[f] = true;
+    grow_device_features_.assign(ctx_.device_features.size(), {});
+    for (std::size_t dvc = 0; dvc < ctx_.device_features.size(); ++dvc) {
+      for (std::uint32_t f : ctx_.device_features[dvc]) {
+        if (keep[f]) grow_device_features_[dvc].push_back(f);
+      }
+    }
+  }
+
+  GrownTree out;
+  out.tree = Tree(d);
+  out.leaf_of_row.assign(n, -1);
+  Tree& tree = out.tree;
+
+  std::vector<std::uint32_t> row_order;
+  if (sampled_rows.empty()) {
+    row_order.resize(n);
+    std::iota(row_order.begin(), row_order.end(), 0u);
+  } else {
+    row_order.assign(sampled_rows.begin(), sampled_rows.end());
+  }
+  const std::size_t n_active = row_order.size();
+
+  tree.add_root(static_cast<std::uint32_t>(n_active));
+
+  // Root totals (replicated across devices in feature-parallel mode; each
+  // device pays for its own reduction, which is cheaper than a broadcast).
+  ActiveNode root;
+  root.tree_node = 0;
+  root.begin = 0;
+  root.end = static_cast<std::uint32_t>(n_active);
+  root.totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
+  group_.set_phase("histogram");
+  for (int i = 0; i < group_.size(); ++i) {
+    reduce_gradients(group_.device(i), g, h, row_order, d, root.totals);
+  }
+
+  std::vector<ActiveNode> active;
+  if (cfg.max_depth > 0 &&
+      root.count() >= 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node)) {
+    active.push_back(std::move(root));
+  } else {
+    compute_leaf(tree, root, row_order, out.leaf_of_row);
+  }
+
+  std::unordered_map<std::int32_t, NodeHistogram> prev_hists, cur_hists;
+  NodeHistogram scratch_hist;
+  std::size_t prev_bytes = 0;
+
+  auto account_alloc = [&](std::size_t bytes) {
+    for (int i = 0; i < group_.size(); ++i) group_.device(i).note_alloc(bytes);
+  };
+  auto account_free = [&](std::size_t bytes) {
+    for (int i = 0; i < group_.size(); ++i) group_.device(i).note_free(bytes);
+  };
+
+  for (int level = 0; level < cfg.max_depth && !active.empty(); ++level) {
+    const std::size_t level_bytes = active.size() * ctx_.layout.byte_size();
+    const bool subtract_mode =
+        cfg.sibling_subtraction &&
+        level_bytes + prev_bytes <= ctx_.hist_pool_budget;
+
+    std::vector<SplitResult> decisions(active.size());
+
+    if (subtract_mode) {
+      account_alloc(level_bytes);
+      group_.set_phase("histogram");
+
+      // Phase 1: allocate the level's histograms, then classify each node —
+      // derived (parent minus smaller sibling) or directly built. Derivation
+      // requires the parent's histogram (previous level) *and* an active
+      // smaller sibling (a sibling finalized as a leaf has no histogram).
+      for (const auto& a : active) cur_hists[a.tree_node].resize(ctx_.layout);
+      std::vector<std::size_t> direct_nodes, derived_nodes;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const ActiveNode& a = active[i];
+        const bool can_subtract = !a.is_smaller && a.parent >= 0 &&
+                                  prev_hists.count(a.parent) > 0 &&
+                                  cur_hists.count(a.sibling) > 0;
+        (can_subtract ? derived_nodes : direct_nodes).push_back(i);
+      }
+
+      // Phase 2: direct builds. With the CSC view available (and a row
+      // partitioning that keeps every row on every device), one sweep over
+      // the stored nonzeros covers all direct nodes of the level (§3.2);
+      // otherwise each node streams its dense rows.
+      const bool use_csc_sweep =
+          ctx_.csc != nullptr && cfg.csc_level_sweep &&
+          (group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kFeatureParallel);
+      if (use_csc_sweep && !direct_nodes.empty()) {
+        std::vector<std::int32_t> node_slot(n, -1);
+        std::vector<LevelNodeInput> inputs(direct_nodes.size());
+        for (std::size_t s = 0; s < direct_nodes.size(); ++s) {
+          const ActiveNode& a = active[direct_nodes[s]];
+          for (std::uint32_t i = a.begin; i < a.end; ++i) {
+            node_slot[row_order[i]] = static_cast<std::int32_t>(s);
+          }
+          inputs[s] = {&cur_hists.at(a.tree_node), a.totals, a.count()};
+        }
+        for (int dev = 0; dev < group_.size(); ++dev) {
+          const auto& feats = group_.size() == 1
+                                  ? grow_features_
+                                  : grow_device_features_[static_cast<std::size_t>(dev)];
+          if (feats.empty()) continue;
+          build_level_histograms_csc(group_.device(dev), *ctx_.csc, node_slot,
+                                     inputs, g, h, ctx_.layout, feats);
+        }
+      } else {
+        for (const std::size_t i : direct_nodes) {
+          ActiveNode& a = active[i];
+          node_rows_ = std::span<const std::uint32_t>(row_order).subspan(
+              a.begin, a.count());
+          build_node_histogram(a, cur_hists.at(a.tree_node), g, h);
+        }
+      }
+
+      // Phase 3: derived nodes by subtraction (their smaller siblings are
+      // direct nodes, built above).
+      for (const std::size_t i : derived_nodes) {
+        ActiveNode& a = active[i];
+        const auto& parent = prev_hists.at(a.parent);
+        const auto& smaller = cur_hists.at(a.sibling);
+        NodeHistogram& hh = cur_hists.at(a.tree_node);
+        for (int dev = 0; dev < group_.size(); ++dev) {
+          const auto& feats =
+              group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kDataParallel
+                  ? grow_features_
+                  : grow_device_features_[static_cast<std::size_t>(dev)];
+          subtract_histograms(group_.device(dev), ctx_.layout, feats, parent,
+                              smaller, hh);
+          if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        ActiveNode& a = active[i];
+        node_rows_ = std::span<const std::uint32_t>(row_order).subspan(
+            a.begin, a.count());
+        group_.set_phase("histogram");
+        if (scratch_hist.sums.size() != ctx_.layout.size()) {
+          scratch_hist.resize(ctx_.layout);
+          account_alloc(ctx_.layout.byte_size());
+        } else {
+          scratch_hist.clear();
+        }
+        build_node_histogram(a, scratch_hist, g, h);
+        // The scratch buffer is reused per node, so selection cannot be
+        // deferred — this is the memory-bounded fallback path.
+        group_.set_phase("split");
+        decisions[i] = select_split(a, scratch_hist);
+      }
+    }
+
+    if (subtract_mode) {
+      // All of the level's histograms are alive: one batched scan + gain +
+      // segmented-reduction kernel set selects every node's split (§3.1.3).
+      group_.set_phase("split");
+      std::vector<NodeSplitInput> inputs(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        inputs[i] = {&cur_hists.at(active[i].tree_node), active[i].totals,
+                     active[i].count()};
+      }
+      decisions = select_splits(inputs);
+    }
+
+    account_free(prev_bytes);
+    if (subtract_mode) {
+      prev_hists = std::move(cur_hists);
+      cur_hists.clear();
+      prev_bytes = level_bytes;
+    } else {
+      prev_hists.clear();
+      prev_bytes = 0;
+    }
+
+    // Apply splits: partition rows, create children, route them. The
+    // partition kernel covers the whole level in one launch; its stats are
+    // accumulated across nodes and charged once.
+    sim::KernelStats level_partition_stats;
+    std::size_t level_partition_rows = 0;
+    std::vector<ActiveNode> next;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      ActiveNode& a = active[i];
+      const SplitResult& s = decisions[i];
+      if (!s.valid()) {
+        compute_leaf(tree, a, row_order, out.leaf_of_row);
+        continue;
+      }
+
+      group_.set_phase("partition");
+      const auto col = ctx_.bins->col(static_cast<std::size_t>(s.feature));
+      const auto split_bin = static_cast<std::uint8_t>(s.bin);
+      const auto begin_it = row_order.begin() + a.begin;
+      const auto end_it = row_order.begin() + a.end;
+      const auto mid_it = std::stable_partition(
+          begin_it, end_it, [&](std::uint32_t r) { return col[r] <= split_bin; });
+      const std::uint32_t mid =
+          a.begin + static_cast<std::uint32_t>(mid_it - begin_it);
+      GBMO_CHECK(mid - a.begin == s.n_left)
+          << "partition count mismatch on feature " << s.feature;
+
+      // Partition: read split-feature bins + rewrite the row range
+      // (accumulated into the level-wide kernel charge below).
+      level_partition_stats.gmem_random_accesses += a.count();
+      level_partition_stats.gmem_coalesced_bytes +=
+          static_cast<std::uint64_t>(a.count()) * 2 * sizeof(std::uint32_t);
+      level_partition_rows += a.count();
+
+      const auto [left_id, right_id] = tree.split_node(
+          a.tree_node, s.feature, s.bin,
+          ctx_.cuts->threshold_for(static_cast<std::size_t>(s.feature), s.bin),
+          s.gain, s.n_left, s.n_right, level + 1);
+
+      // Child totals: the smaller child is reduced directly, the larger one
+      // is the parent minus the smaller (one cheap vector op).
+      const bool left_smaller = s.n_left <= s.n_right;
+      ActiveNode small_child, large_child;
+      small_child.tree_node = left_smaller ? left_id : right_id;
+      small_child.begin = left_smaller ? a.begin : mid;
+      small_child.end = left_smaller ? mid : a.end;
+      large_child.tree_node = left_smaller ? right_id : left_id;
+      large_child.begin = left_smaller ? mid : a.begin;
+      large_child.end = left_smaller ? a.end : mid;
+
+      group_.set_phase("histogram");  // node-total reductions feed the
+                                      // next level's zero-bin reconstruction
+      small_child.totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
+      const auto small_rows = std::span<const std::uint32_t>(row_order).subspan(
+          small_child.begin, small_child.count());
+      for (int dev = 0; dev < group_.size(); ++dev) {
+        reduce_gradients(group_.device(dev), g, h, small_rows, d,
+                         small_child.totals);
+        if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
+      }
+      large_child.totals.resize(static_cast<std::size_t>(d));
+      for (int k = 0; k < d; ++k) {
+        large_child.totals[static_cast<std::size_t>(k)] = sim::GradPair{
+            a.totals[static_cast<std::size_t>(k)].g -
+                small_child.totals[static_cast<std::size_t>(k)].g,
+            a.totals[static_cast<std::size_t>(k)].h -
+                small_child.totals[static_cast<std::size_t>(k)].h};
+      }
+
+      small_child.parent = a.tree_node;
+      large_child.parent = a.tree_node;
+      small_child.sibling = large_child.tree_node;
+      large_child.sibling = small_child.tree_node;
+      small_child.is_smaller = true;
+      large_child.is_smaller = false;
+
+      auto route = [&](ActiveNode&& c) {
+        if (level + 1 < cfg.max_depth &&
+            c.count() >= 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node)) {
+          next.push_back(std::move(c));
+        } else {
+          compute_leaf(tree, c, row_order, out.leaf_of_row);
+        }
+      };
+      route(std::move(small_child));  // smaller first: enables subtraction
+      route(std::move(large_child));
+    }
+
+    if (level_partition_rows > 0) {
+      group_.set_phase("partition");
+      level_partition_stats.blocks =
+          std::max<std::uint64_t>(1, level_partition_rows / 256);
+      auto& dev = group_.device(0);
+      dev.add_stats(level_partition_stats);
+      dev.add_modeled_time(
+          sim::CostModel(dev.spec()).kernel_seconds(level_partition_stats));
+      if (group_.size() > 1 && cfg.multi_gpu == MultiGpuMode::kFeatureParallel) {
+        // Owners broadcast the level's left/right bitmaps in one exchange.
+        group_.charge_broadcast(level_partition_rows / 8 + 1, 0);
+      }
+    }
+    active = std::move(next);
+  }
+
+  // Defensive: every remaining active node becomes a leaf (cannot normally
+  // happen — routing above finalizes depth-limited children).
+  for (auto& a : active) compute_leaf(tree, a, row_order, out.leaf_of_row);
+
+  flush_leaf_charges();
+  account_free(prev_bytes);
+  if (scratch_hist.sums.size() == ctx_.layout.size()) {
+    account_free(ctx_.layout.byte_size());
+  }
+  return out;
+}
+
+}  // namespace gbmo::core

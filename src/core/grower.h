@@ -1,0 +1,116 @@
+// Level-wise tree construction (Algorithm 1) on the simulated device group.
+//
+// Per level, every splittable node gets a histogram (built by the configured
+// strategy, or derived by sibling subtraction: the larger child equals the
+// parent minus the smaller child), the best split is selected (per-device
+// feature subsets + best-split all-reduce in feature-parallel mode), and the
+// node's instance range is stable-partitioned into its children.
+//
+// Histogram memory is pooled with a budget: when a level's histograms would
+// exceed it, the grower falls back to building nodes one at a time in a
+// single reusable buffer (losing subtraction but bounding peak memory) —
+// this is the mechanism behind "avoids out-of-memory failures" in Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/histogram.h"
+#include "core/split.h"
+#include "core/tree.h"
+#include "data/quantize.h"
+#include "sim/collectives.h"
+
+namespace gbmo::core {
+
+// Per-booster immutable state shared by all trees.
+struct GrowerContext {
+  const data::BinnedMatrix* bins = nullptr;
+  const data::BinCuts* cuts = nullptr;
+  // Optional CSC view of `bins` (set by the booster when
+  // config.csc_level_sweep is on); enables the §3.2 level-sweep build path.
+  const data::BinnedCscMatrix* csc = nullptr;
+  HistogramLayout layout;
+  TrainConfig config;
+  // Feature subsets per device (feature-parallel) — contiguous chunks.
+  std::vector<std::vector<std::uint32_t>> device_features;
+  // Row ownership boundaries per device (data-parallel).
+  std::vector<std::uint32_t> device_row_bounds;  // size n_devices + 1
+  // Histogram pool budget in bytes (see header comment).
+  std::size_t hist_pool_budget = 512ull << 20;
+
+  static GrowerContext create(const data::BinnedMatrix& bins,
+                              const data::BinCuts& cuts, int n_outputs,
+                              const TrainConfig& config);
+};
+
+struct GrownTree {
+  Tree tree;
+  // Tree node id of the leaf every training row landed in — lets the booster
+  // update predictions with a gather instead of re-traversing (§3.1.1).
+  std::vector<std::int32_t> leaf_of_row;
+};
+
+class TreeGrower {
+ public:
+  TreeGrower(sim::DeviceGroup& group, const GrowerContext& ctx);
+
+  // Grows one tree from the gradient arrays ([row * d + k] layout).
+  // `sampled_rows` restricts training to a row subset (stochastic boosting);
+  // empty means all rows. `sampled_features` restricts the split search
+  // (colsample_bytree); empty means all features. Rows outside the sample
+  // get leaf_of_row == -1 — the booster routes them by traversal.
+  GrownTree grow(std::span<const float> g, std::span<const float> h,
+                 std::span<const std::uint32_t> sampled_rows = {},
+                 std::span<const std::uint32_t> sampled_features = {});
+
+  // Name of the histogram strategy chosen for the most recent build
+  // (reporting/ablation).
+  const HistogramBuilder& builder() const { return *builder_; }
+
+ private:
+  struct ActiveNode {
+    std::int32_t tree_node = -1;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::vector<sim::GradPair> totals;  // d sums
+    std::int32_t parent = -1;           // parent tree node (-1 for root)
+    std::int32_t sibling = -1;          // sibling tree node
+    bool is_smaller = true;             // smaller sibling builds directly
+    std::uint32_t count() const { return end - begin; }
+  };
+
+  void build_node_histogram(const ActiveNode& node, NodeHistogram& out,
+                            std::span<const float> g, std::span<const float> h);
+  SplitResult select_split(const ActiveNode& node, const NodeHistogram& hist);
+  // Level-batched selection (one scan/gain/reduction kernel set per level,
+  // §3.1.3); inputs[i] corresponds to nodes[i].
+  std::vector<SplitResult> select_splits(std::span<const NodeSplitInput> inputs);
+  void compute_leaf(Tree& tree, const ActiveNode& node,
+                    std::span<const std::uint32_t> row_order,
+                    std::vector<std::int32_t>& leaf_of_row);
+  void flush_leaf_charges();
+
+  sim::DeviceGroup& group_;
+  const GrowerContext& ctx_;
+  std::unique_ptr<HistogramBuilder> builder_;
+  SplitScratch split_scratch_;
+  std::vector<std::uint32_t> all_features_;
+  // This tree's feature view (= all_features_ unless colsample is active)
+  // and its intersection with every device's column partition.
+  std::vector<std::uint32_t> grow_features_;
+  std::vector<std::vector<std::uint32_t>> grow_device_features_;
+  // Row span of the node currently being built (set by grow() before each
+  // build_node_histogram call; avoids threading it through every helper).
+  std::span<const std::uint32_t> node_rows_;
+  // Leaf-value/assignment work is accumulated and charged as one kernel per
+  // tree (the real implementation finalizes all leaves in one launch).
+  sim::KernelStats pending_leaf_stats_;
+  bool has_pending_leaf_charges_ = false;
+};
+
+}  // namespace gbmo::core

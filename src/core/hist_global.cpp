@@ -1,0 +1,85 @@
+// Global-memory histogram builder (§3.3.2).
+//
+// Each simulated thread processes one (instance, feature) element: it fetches
+// the bin id, then atomically accumulates the instance's d-dimensional
+// gradient pair into the global histogram. Simple and scalable for moderate
+// workloads, but same-bin collisions serialize the full d-wide update, which
+// is what the shared-memory strategy exists to absorb.
+#include "core/hist_common.h"
+#include "core/histogram.h"
+#include "sim/launch.h"
+
+namespace gbmo::core {
+
+namespace {
+
+class GlobalBuilder final : public HistogramBuilder {
+ public:
+  const char* name() const override { return "gmem"; }
+
+  void build(sim::Device& dev, const HistBuildInput& in, NodeHistogram& out) override {
+    const auto& layout = *in.layout;
+    const int d = layout.n_outputs();
+    const std::size_t n_rows = in.node_rows.size();
+    if (in.packed) GBMO_CHECK(in.bins->packed());
+
+    constexpr int kBlock = 256;
+    const int chunks = std::max(1, sim::blocks_for(n_rows, kBlock));
+    const int grid = static_cast<int>(in.features.size()) * chunks;
+
+    sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+      const std::size_t fi = static_cast<std::size_t>(blk.block_id()) /
+                             static_cast<std::size_t>(chunks);
+      const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %
+                                static_cast<std::size_t>(chunks);
+      const std::uint32_t f = in.features[fi];
+      const std::uint8_t zb = layout.zero_bin(f);
+      const std::size_t row_lo = chunk * kBlock;
+      const std::size_t row_hi = std::min(n_rows, row_lo + kBlock);
+      if (row_lo >= row_hi) return;
+
+      detail::BuildTally tally;
+      sim::ConflictTracker tracker;
+
+      for (std::size_t r = row_lo; r < row_hi; ++r) {
+        const std::size_t row = in.node_rows[r];
+        const std::uint8_t bin = detail::fetch_bin(*in.bins, in.packed, row, f);
+        ++tally.elements;
+        if (in.sparsity_aware && bin == zb) continue;
+        ++tally.nonzero;
+
+        const std::size_t base = layout.slot(f, bin, 0);
+        tally.conflict_hits += tracker.note(static_cast<std::uintptr_t>(base));
+        const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
+        const float* hi = in.h.data() + row * static_cast<std::size_t>(d);
+        sim::GradPair* slot = out.sums.data() + base;
+        for (int k = 0; k < d; ++k) {
+          slot[k].g += gi[k];
+          slot[k].h += hi[k];
+        }
+        ++out.counts[layout.bin_index(f, bin)];
+      }
+
+      auto& s = blk.stats();
+      tally.fold_common(s, d, in.packed, in.csc_indirection);
+      // Histogram read-modify-write traffic hits global memory; the d-wide
+      // vector update issues one atomicAdd per 32-bit word (2d per element).
+      s.gmem_coalesced_bytes +=
+          tally.nonzero * static_cast<std::uint64_t>(d) * 2 * sizeof(sim::GradPair);
+      s.atomic_global_ops += tally.nonzero * static_cast<std::uint64_t>(d) * 2;
+      // Collisions replay per word; banks pipeline across the d-wide update.
+      s.atomic_global_conflicts += tally.conflict_hits;
+      s.flops += tally.nonzero * static_cast<std::uint64_t>(d) * 2;
+    });
+
+    reconstruct_zero_bins(in, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<HistogramBuilder> make_global_builder() {
+  return std::make_unique<GlobalBuilder>();
+}
+
+}  // namespace gbmo::core

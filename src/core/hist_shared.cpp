@@ -1,0 +1,161 @@
+// Shared-memory histogram builder (§3.3.3).
+//
+// The per-feature histogram slice (n_bins * d gradient pairs) rarely fits the
+// 48 KB shared-memory budget for multi-output training, so the slice is tiled
+// into bin-range chunks that do fit. Each block:
+//   1. zero-initializes its shared tile,
+//   2. streams its row chunk, accumulating elements whose bin falls inside
+//      the tile (shared-memory atomics — cheap, and collisions stay local),
+//   3. synchronizes and flushes the tile into the global histogram.
+// The tiling parameters — chunk size and bin offset — are computed per block
+// from the device's shared-memory budget, exactly as the paper describes.
+#include <vector>
+
+#include "core/hist_common.h"
+#include "core/histogram.h"
+#include "sim/launch.h"
+
+namespace gbmo::core {
+
+namespace {
+
+class SharedBuilder final : public HistogramBuilder {
+ public:
+  const char* name() const override { return "smem"; }
+
+  void build(sim::Device& dev, const HistBuildInput& in, NodeHistogram& out) override {
+    const auto& layout = *in.layout;
+    const int d = layout.n_outputs();
+    const std::size_t n_rows = in.node_rows.size();
+    if (in.packed) GBMO_CHECK(in.bins->packed());
+
+    // Tile geometry: how many bins (x d outputs x GradPair) fit in shared
+    // memory. Every output of a bin lives in the same tile so the flush is a
+    // contiguous range.
+    const std::size_t tile_slots = dev.spec().shared_mem_per_block / sizeof(sim::GradPair);
+    const int chunk_bins = std::max<int>(
+        1, static_cast<int>(tile_slots / static_cast<std::size_t>(d)));
+    GBMO_CHECK(static_cast<std::size_t>(d) <= tile_slots)
+        << "output dimension exceeds a full shared-memory tile";
+
+    constexpr int kRowsPerBlock = 1024;
+    const int row_chunks = std::max(1, sim::blocks_for(n_rows, kRowsPerBlock));
+
+    // Grid: (feature, bin-chunk, row-chunk). Flattened launch geometry.
+    std::vector<std::uint32_t> passes_per_feature(in.features.size());
+    int grid = 0;
+    for (std::size_t fi = 0; fi < in.features.size(); ++fi) {
+      const int n_bins = layout.n_bins(in.features[fi]);
+      passes_per_feature[fi] =
+          static_cast<std::uint32_t>((n_bins + chunk_bins - 1) / chunk_bins);
+      grid += static_cast<int>(passes_per_feature[fi]) * row_chunks;
+    }
+    if (grid == 0) return;
+
+    // Block-id -> (feature, pass) decode table.
+    struct BlockJob {
+      std::uint32_t feature_idx;
+      std::uint32_t pass;
+      std::uint32_t row_chunk;
+    };
+    std::vector<BlockJob> jobs;
+    jobs.reserve(static_cast<std::size_t>(grid));
+    for (std::size_t fi = 0; fi < in.features.size(); ++fi) {
+      for (std::uint32_t p = 0; p < passes_per_feature[fi]; ++p) {
+        for (int rc = 0; rc < row_chunks; ++rc) {
+          jobs.push_back({static_cast<std::uint32_t>(fi), p,
+                          static_cast<std::uint32_t>(rc)});
+        }
+      }
+    }
+
+    // Reused scratch for the (sequentially executed) blocks' shared tiles.
+    std::vector<sim::GradPair> tile;
+    std::vector<std::uint32_t> tile_counts;
+
+    sim::launch(dev, grid, 256, [&](sim::BlockCtx& blk) {
+      const BlockJob job = jobs[static_cast<std::size_t>(blk.block_id())];
+      const std::uint32_t f = in.features[job.feature_idx];
+      const std::uint8_t zb = layout.zero_bin(f);
+      const int n_bins = layout.n_bins(f);
+      const int bin_lo = static_cast<int>(job.pass) * chunk_bins;
+      const int bin_hi = std::min(n_bins, bin_lo + chunk_bins);
+      const std::size_t row_lo = static_cast<std::size_t>(job.row_chunk) * kRowsPerBlock;
+      const std::size_t row_hi = std::min(n_rows, row_lo + kRowsPerBlock);
+      if (row_lo >= row_hi) return;
+
+      const std::size_t tile_size =
+          static_cast<std::size_t>(bin_hi - bin_lo) * static_cast<std::size_t>(d);
+      tile.assign(tile_size, sim::GradPair{});
+      tile_counts.assign(static_cast<std::size_t>(bin_hi - bin_lo), 0);
+
+      detail::BuildTally tally;
+      sim::ConflictTracker tracker;
+      std::uint64_t smem_updates = 0;
+
+      for (std::size_t r = row_lo; r < row_hi; ++r) {
+        const std::size_t row = in.node_rows[r];
+        const std::uint8_t bin = detail::fetch_bin(*in.bins, in.packed, row, f);
+        ++tally.elements;
+        if (bin < bin_lo || bin >= bin_hi) continue;
+        if (in.sparsity_aware && bin == zb) continue;
+        ++tally.nonzero;
+
+        const std::size_t base =
+            static_cast<std::size_t>(bin - bin_lo) * static_cast<std::size_t>(d);
+        tally.conflict_hits += tracker.note(static_cast<std::uintptr_t>(base));
+        const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
+        const float* hi = in.h.data() + row * static_cast<std::size_t>(d);
+        for (int k = 0; k < d; ++k) {
+          tile[base + static_cast<std::size_t>(k)].g += gi[k];
+          tile[base + static_cast<std::size_t>(k)].h += hi[k];
+        }
+        ++tile_counts[static_cast<std::size_t>(bin - bin_lo)];
+        ++smem_updates;
+      }
+
+      blk.sync();  // all accumulation visible before the flush phase
+
+      // Flush: one global atomic add per touched tile slot.
+      std::uint64_t flushed = 0;
+      for (int b = bin_lo; b < bin_hi; ++b) {
+        const std::size_t tbase =
+            static_cast<std::size_t>(b - bin_lo) * static_cast<std::size_t>(d);
+        if (tile_counts[static_cast<std::size_t>(b - bin_lo)] == 0) continue;
+        const std::size_t gbase = layout.slot(f, b, 0);
+        for (int k = 0; k < d; ++k) {
+          out.sums[gbase + static_cast<std::size_t>(k)].g +=
+              tile[tbase + static_cast<std::size_t>(k)].g;
+          out.sums[gbase + static_cast<std::size_t>(k)].h +=
+              tile[tbase + static_cast<std::size_t>(k)].h;
+        }
+        out.counts[layout.bin_index(f, b)] +=
+            tile_counts[static_cast<std::size_t>(b - bin_lo)];
+        flushed += static_cast<std::uint64_t>(d);
+      }
+
+      auto& s = blk.stats();
+      tally.fold_common(s, d, in.packed, in.csc_indirection);
+      // Tile init + accumulation + flush-read all hit shared memory.
+      s.smem_bytes += (tile_size * 2 + smem_updates * static_cast<std::uint64_t>(d) * 2) *
+                      sizeof(sim::GradPair);
+      // One shared-memory atomic per 32-bit word of the d-wide update.
+      s.atomic_shared_ops += smem_updates * static_cast<std::uint64_t>(d) * 2;
+      s.atomic_shared_conflicts += tally.conflict_hits;
+      // Flush: one global atomic per word + write traffic.
+      s.atomic_global_ops += flushed * 2;
+      s.gmem_coalesced_bytes += flushed * 2 * sizeof(sim::GradPair);
+      s.flops += smem_updates * static_cast<std::uint64_t>(d) * 2;
+    });
+
+    reconstruct_zero_bins(in, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<HistogramBuilder> make_shared_builder() {
+  return std::make_unique<SharedBuilder>();
+}
+
+}  // namespace gbmo::core

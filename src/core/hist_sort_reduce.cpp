@@ -1,0 +1,129 @@
+// Sort-and-reduce histogram builder (§3.3.4).
+//
+// Avoids atomics entirely: every (instance, feature) element emits a key
+// combining the feature's bin offset with the element's bin id; the key/row
+// pairs are sorted, equal keys are reduced, and the reduced sums are
+// scattered into the final histogram. The sort makes this the most expensive
+// strategy (Figure 6a), but it is contention-free, which pays off only where
+// atomic collisions would be catastrophic.
+#include <vector>
+
+#include "core/hist_common.h"
+#include "core/histogram.h"
+#include "sim/launch.h"
+#include "sim/primitives.h"
+
+namespace gbmo::core {
+
+namespace {
+
+class SortReduceBuilder final : public HistogramBuilder {
+ public:
+  const char* name() const override { return "sort-reduce"; }
+
+  void build(sim::Device& dev, const HistBuildInput& in, NodeHistogram& out) override {
+    const auto& layout = *in.layout;
+    const int d = layout.n_outputs();
+    const std::size_t n_rows = in.node_rows.size();
+    if (in.packed) GBMO_CHECK(in.bins->packed());
+
+    // Phase 1: key construction kernel — one thread per (row, feature).
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint32_t> payload_rows;
+    keys.reserve(n_rows * in.features.size());
+    payload_rows.reserve(n_rows * in.features.size());
+
+    constexpr int kBlock = 256;
+    const int chunks = std::max(1, sim::blocks_for(n_rows, kBlock));
+    const int grid = static_cast<int>(in.features.size()) * chunks;
+
+    sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+      const std::size_t fi = static_cast<std::size_t>(blk.block_id()) /
+                             static_cast<std::size_t>(chunks);
+      const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %
+                                static_cast<std::size_t>(chunks);
+      const std::uint32_t f = in.features[fi];
+      const std::uint8_t zb = layout.zero_bin(f);
+      const std::size_t row_lo = chunk * kBlock;
+      const std::size_t row_hi = std::min(n_rows, row_lo + kBlock);
+
+      detail::BuildTally tally;
+      for (std::size_t r = row_lo; r < row_hi; ++r) {
+        const std::size_t row = in.node_rows[r];
+        const std::uint8_t bin = detail::fetch_bin(*in.bins, in.packed, row, f);
+        ++tally.elements;
+        if (in.sparsity_aware && bin == zb) continue;
+        keys.push_back(static_cast<std::uint64_t>(layout.bin_index(f, bin)));
+        payload_rows.push_back(static_cast<std::uint32_t>(row));
+      }
+      auto& s = blk.stats();
+      // Key construction only reads row ids + bins and writes the pairs.
+      s.gmem_coalesced_bytes += tally.elements * sizeof(std::uint32_t);
+      s.gmem_random_accesses += in.packed ? (tally.elements + 3) / 4 : tally.elements;
+      s.gmem_coalesced_bytes +=
+          static_cast<std::uint64_t>(keys.size()) * 0;  // writes charged below
+    });
+
+    const std::uint64_t n_pairs = keys.size();
+    {
+      sim::KernelStats s;
+      s.blocks = std::max<std::uint64_t>(1, n_pairs / 256);
+      s.gmem_coalesced_bytes =
+          n_pairs * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+      dev.add_stats(s);
+    }
+
+    // Phase 2: sort_by_key groups equal (feature, bin) keys.
+    sim::sort_pairs(dev, keys, payload_rows);
+
+    // Phase 3: reduce. The payload is the row id, so the d-dimensional
+    // gradient reduction is a gather over the sorted order — one pass that
+    // accumulates run sums directly into the histogram (the real kernel uses
+    // reduce_by_key per output; the data volume is identical).
+    sim::launch(dev, std::max(1, sim::blocks_for(n_pairs, kBlock)), kBlock,
+                [&](sim::BlockCtx& blk) {
+      const std::size_t lo = static_cast<std::size_t>(blk.block_id()) * kBlock;
+      const std::size_t hi = std::min<std::size_t>(n_pairs, lo + kBlock);
+      std::uint64_t accum = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t bin_idx = keys[i];
+        const std::size_t row = payload_rows[i];
+        sim::GradPair* slot =
+            out.sums.data() + bin_idx * static_cast<std::size_t>(d);
+        const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
+        const float* hi_row = in.h.data() + row * static_cast<std::size_t>(d);
+        for (int k = 0; k < d; ++k) {
+          slot[k].g += gi[k];
+          slot[k].h += hi_row[k];
+        }
+        ++out.counts[bin_idx];
+        ++accum;
+      }
+      auto& s = blk.stats();
+      // reduce_by_key cannot carry d-wide values through its single-pass
+      // fast path: one reduce pass per output dimension, each re-reading the
+      // sorted keys and gathering that output's gradient column (scattered —
+      // the sort shuffled the row order).
+      s.gmem_coalesced_bytes +=
+          accum * static_cast<std::uint64_t>(d) *
+          (sizeof(std::uint64_t) + sizeof(std::uint32_t) + 2 * sizeof(float));
+      s.gmem_random_accesses += accum * static_cast<std::uint64_t>(d);
+      s.flops += accum * static_cast<std::uint64_t>(d) * 2;
+    });
+    // One kernel launch per output dimension's reduce pass (the single
+    // launch() above accounted for one of them).
+    if (d > 1) {
+      dev.add_modeled_time((d - 1) * dev.spec().kernel_launch_s);
+    }
+
+    reconstruct_zero_bins(in, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<HistogramBuilder> make_sort_reduce_builder() {
+  return std::make_unique<SortReduceBuilder>();
+}
+
+}  // namespace gbmo::core

@@ -1,0 +1,114 @@
+#include "core/histogram.h"
+
+#include "common/error.h"
+#include "sim/cost_model.h"
+#include "sim/launch.h"
+
+namespace gbmo::core {
+
+HistogramLayout::HistogramLayout(const data::BinCuts& cuts, int n_outputs)
+    : n_outputs_(n_outputs) {
+  GBMO_CHECK(n_outputs >= 1);
+  offsets_.reserve(cuts.n_features() + 1);
+  zero_bins_.reserve(cuts.n_features());
+  offsets_.push_back(0);
+  for (std::size_t f = 0; f < cuts.n_features(); ++f) {
+    offsets_.push_back(offsets_.back() + static_cast<std::uint32_t>(cuts.n_bins(f)));
+    zero_bins_.push_back(cuts.bin_for(f, 0.0f));
+  }
+}
+
+const char* hist_method_name(HistMethod m) {
+  switch (m) {
+    case HistMethod::kAuto:
+      return "auto";
+    case HistMethod::kGlobal:
+      return "gmem";
+    case HistMethod::kShared:
+      return "smem";
+    case HistMethod::kSortReduce:
+      return "sort-reduce";
+  }
+  return "?";
+}
+
+std::unique_ptr<HistogramBuilder> make_builder(HistMethod method) {
+  switch (method) {
+    case HistMethod::kAuto:
+      return make_adaptive_builder();
+    case HistMethod::kGlobal:
+      return make_global_builder();
+    case HistMethod::kShared:
+      return make_shared_builder();
+    case HistMethod::kSortReduce:
+      return make_sort_reduce_builder();
+  }
+  return make_adaptive_builder();
+}
+
+void reconstruct_zero_bins(const HistBuildInput& in, NodeHistogram& out) {
+  if (!in.sparsity_aware) return;
+  const auto& layout = *in.layout;
+  const int d = layout.n_outputs();
+  GBMO_CHECK(in.node_totals.size() == static_cast<std::size_t>(d));
+
+  for (std::uint32_t f : in.features) {
+    const int n_bins = layout.n_bins(f);
+    const std::uint8_t zb = layout.zero_bin(f);
+    // Zero-bin sums = node totals − Σ other bins (per output).
+    for (int k = 0; k < d; ++k) {
+      float g_sum = 0.0f;
+      float h_sum = 0.0f;
+      for (int b = 0; b < n_bins; ++b) {
+        if (b == zb) continue;
+        const auto& p = out.sums[layout.slot(f, b, k)];
+        g_sum += p.g;
+        h_sum += p.h;
+      }
+      auto& z = out.sums[layout.slot(f, zb, k)];
+      z.g = in.node_totals[static_cast<std::size_t>(k)].g - g_sum;
+      z.h = in.node_totals[static_cast<std::size_t>(k)].h - h_sum;
+    }
+    std::uint32_t count = 0;
+    for (int b = 0; b < n_bins; ++b) {
+      if (b == zb) continue;
+      count += out.counts[layout.bin_index(f, b)];
+    }
+    GBMO_CHECK(count <= in.node_count)
+        << "non-zero bin counts exceed node size for feature " << f;
+    out.counts[layout.bin_index(f, zb)] = in.node_count - count;
+  }
+}
+
+void subtract_histograms(sim::Device& dev, const HistogramLayout& layout,
+                         std::span<const std::uint32_t> features,
+                         const NodeHistogram& parent, const NodeHistogram& smaller,
+                         NodeHistogram& larger) {
+  const int d = layout.n_outputs();
+  std::uint64_t slots = 0;
+  for (std::uint32_t f : features) {
+    const int n_bins = layout.n_bins(f);
+    for (int b = 0; b < n_bins; ++b) {
+      const std::size_t base = layout.slot(f, b, 0);
+      for (int k = 0; k < d; ++k) {
+        larger.sums[base + static_cast<std::size_t>(k)] = sim::GradPair{
+            parent.sums[base + static_cast<std::size_t>(k)].g -
+                smaller.sums[base + static_cast<std::size_t>(k)].g,
+            parent.sums[base + static_cast<std::size_t>(k)].h -
+                smaller.sums[base + static_cast<std::size_t>(k)].h};
+      }
+      const std::size_t bi = layout.bin_index(f, b);
+      larger.counts[bi] = parent.counts[bi] - smaller.counts[bi];
+      slots += static_cast<std::uint64_t>(d);
+    }
+  }
+  // One elementwise kernel: read parent+smaller, write larger.
+  sim::KernelStats s;
+  s.blocks = std::max<std::uint64_t>(1, slots / 256);
+  s.gmem_coalesced_bytes = slots * sizeof(sim::GradPair) * 3;
+  s.flops = slots * 2;
+  dev.add_stats(s);
+  dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+}
+
+}  // namespace gbmo::core

@@ -1,0 +1,41 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace gbmo::core {
+
+std::vector<double> feature_importance(std::span<const Tree> trees,
+                                       std::size_t n_features,
+                                       ImportanceKind kind) {
+  std::vector<double> importance(n_features, 0.0);
+  for (const auto& tree : trees) {
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      const auto& node = tree.node(i);
+      if (node.is_leaf()) continue;
+      GBMO_CHECK(static_cast<std::size_t>(node.feature) < n_features)
+          << "tree references feature " << node.feature << " beyond "
+          << n_features;
+      importance[static_cast<std::size_t>(node.feature)] +=
+          kind == ImportanceKind::kGain ? static_cast<double>(node.gain) : 1.0;
+    }
+  }
+  return importance;
+}
+
+std::vector<std::size_t> top_features(std::span<const Tree> trees,
+                                      std::size_t n_features, std::size_t k,
+                                      ImportanceKind kind) {
+  const auto importance = feature_importance(trees, n_features, kind);
+  std::vector<std::size_t> order(n_features);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importance[a] > importance[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace gbmo::core

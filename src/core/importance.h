@@ -1,0 +1,26 @@
+// Feature importance for trained multi-output models: total split gain or
+// split count per feature, aggregated over the ensemble (the usual
+// XGBoost-style "gain" and "weight" importances).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tree.h"
+
+namespace gbmo::core {
+
+enum class ImportanceKind { kGain, kSplitCount };
+
+// Returns one value per feature (index = feature id). Features never used in
+// a split get 0. `n_features` must cover every feature id in the trees.
+std::vector<double> feature_importance(std::span<const Tree> trees,
+                                       std::size_t n_features,
+                                       ImportanceKind kind = ImportanceKind::kGain);
+
+// Indices of the top-k features by the given importance, descending.
+std::vector<std::size_t> top_features(std::span<const Tree> trees,
+                                      std::size_t n_features, std::size_t k,
+                                      ImportanceKind kind = ImportanceKind::kGain);
+
+}  // namespace gbmo::core

@@ -1,0 +1,151 @@
+#include "core/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gbmo::core {
+
+namespace {
+constexpr float kHessianFloor = 1e-6f;
+
+inline float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+}  // namespace
+
+std::unique_ptr<Loss> Loss::default_for(data::TaskKind task) {
+  switch (task) {
+    case data::TaskKind::kMulticlass:
+      return std::make_unique<SoftmaxCrossEntropyLoss>();
+    case data::TaskKind::kMultilabel:
+      return std::make_unique<SigmoidBceLoss>();
+    case data::TaskKind::kMultiregression:
+      return std::make_unique<MseLoss>();
+  }
+  return std::make_unique<MseLoss>();
+}
+
+void MseLoss::instance_gradients(std::span<const float> scores,
+                                 const data::Labels& y, std::size_t i,
+                                 std::span<float> g, std::span<float> h) const {
+  const int d = y.n_outputs();
+  for (int k = 0; k < d; ++k) {
+    g[static_cast<std::size_t>(k)] =
+        2.0f * (scores[static_cast<std::size_t>(k)] - y.target(i, k));
+    h[static_cast<std::size_t>(k)] = 2.0f;
+  }
+}
+
+double MseLoss::value(std::span<const float> scores, const data::Labels& y) const {
+  const int d = y.n_outputs();
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      const double diff = scores[i * static_cast<std::size_t>(d) +
+                                 static_cast<std::size_t>(k)] -
+                          y.target(i, k);
+      total += diff * diff;
+    }
+  }
+  return y.size() > 0 ? total / static_cast<double>(y.size()) : 0.0;
+}
+
+void HuberLoss::instance_gradients(std::span<const float> scores,
+                                   const data::Labels& y, std::size_t i,
+                                   std::span<float> g, std::span<float> h) const {
+  const int d = y.n_outputs();
+  for (int k = 0; k < d; ++k) {
+    const float r = scores[static_cast<std::size_t>(k)] - y.target(i, k);
+    if (std::fabs(r) <= delta_) {
+      g[static_cast<std::size_t>(k)] = 2.0f * r;
+      h[static_cast<std::size_t>(k)] = 2.0f;
+    } else {
+      g[static_cast<std::size_t>(k)] = 2.0f * delta_ * (r > 0 ? 1.0f : -1.0f);
+      h[static_cast<std::size_t>(k)] = kHessianFloor * 100.0f;
+    }
+  }
+}
+
+double HuberLoss::value(std::span<const float> scores, const data::Labels& y) const {
+  const int d = y.n_outputs();
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      const double r = scores[i * static_cast<std::size_t>(d) +
+                              static_cast<std::size_t>(k)] -
+                       y.target(i, k);
+      const double a = std::fabs(r);
+      total += a <= delta_ ? r * r
+                           : 2.0 * delta_ * a - static_cast<double>(delta_) * delta_;
+    }
+  }
+  return y.size() > 0 ? total / static_cast<double>(y.size()) : 0.0;
+}
+
+void SoftmaxCrossEntropyLoss::instance_gradients(std::span<const float> scores,
+                                                 const data::Labels& y,
+                                                 std::size_t i, std::span<float> g,
+                                                 std::span<float> h) const {
+  const int d = y.n_outputs();
+  float max_s = scores[0];
+  for (int k = 1; k < d; ++k) max_s = std::max(max_s, scores[static_cast<std::size_t>(k)]);
+  float sum = 0.0f;
+  for (int k = 0; k < d; ++k) {
+    const float e = std::exp(scores[static_cast<std::size_t>(k)] - max_s);
+    g[static_cast<std::size_t>(k)] = e;  // reuse as scratch for exp values
+    sum += e;
+  }
+  for (int k = 0; k < d; ++k) {
+    const float p = g[static_cast<std::size_t>(k)] / sum;
+    g[static_cast<std::size_t>(k)] = p - y.target(i, k);
+    h[static_cast<std::size_t>(k)] = std::max(p * (1.0f - p), kHessianFloor);
+  }
+}
+
+double SoftmaxCrossEntropyLoss::value(std::span<const float> scores,
+                                      const data::Labels& y) const {
+  const int d = y.n_outputs();
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const auto s = scores.subspan(i * static_cast<std::size_t>(d),
+                                  static_cast<std::size_t>(d));
+    float max_s = s[0];
+    for (int k = 1; k < d; ++k) max_s = std::max(max_s, s[static_cast<std::size_t>(k)]);
+    double sum = 0.0;
+    for (int k = 0; k < d; ++k) sum += std::exp(s[static_cast<std::size_t>(k)] - max_s);
+    const int c = y.class_id(i);
+    total -= (static_cast<double>(s[static_cast<std::size_t>(c)]) - max_s) - std::log(sum);
+  }
+  return y.size() > 0 ? total / static_cast<double>(y.size()) : 0.0;
+}
+
+void SigmoidBceLoss::instance_gradients(std::span<const float> scores,
+                                        const data::Labels& y, std::size_t i,
+                                        std::span<float> g,
+                                        std::span<float> h) const {
+  const int d = y.n_outputs();
+  for (int k = 0; k < d; ++k) {
+    const float p = sigmoid(scores[static_cast<std::size_t>(k)]);
+    g[static_cast<std::size_t>(k)] = p - y.target(i, k);
+    h[static_cast<std::size_t>(k)] = std::max(p * (1.0f - p), kHessianFloor);
+  }
+}
+
+double SigmoidBceLoss::value(std::span<const float> scores,
+                             const data::Labels& y) const {
+  const int d = y.n_outputs();
+  double total = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      const double s = scores[i * static_cast<std::size_t>(d) + static_cast<std::size_t>(k)];
+      const double t = y.target(i, k);
+      // BCE = t*log(1+exp(-s)) + (1-t)*log(1+exp(s)), each computed stably.
+      const double log1pexp_neg = s > 0 ? std::log1p(std::exp(-s)) : -s + std::log1p(std::exp(s));
+      const double log1pexp_pos = s > 0 ? s + std::log1p(std::exp(-s)) : std::log1p(std::exp(s));
+      total += t * log1pexp_neg + (1.0 - t) * log1pexp_pos;
+    }
+  }
+  return y.size() > 0 ? total / static_cast<double>(y.size()) : 0.0;
+}
+
+}  // namespace gbmo::core

@@ -1,0 +1,99 @@
+// Task losses with first/second-order derivatives (diagonal Hessian, §2.2).
+//
+// Scores, gradients and Hessians all use the [instance * d + output] layout.
+// Losses are pure math; the GPU kernels that evaluate them over a dataset
+// live in core/gradients.{h,cpp}.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "data/matrix.h"
+
+namespace gbmo::core {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual const char* name() const = 0;
+
+  // Writes g and h for one instance given its d scores. `target(k)` exposes
+  // the dense label view of data::Labels.
+  virtual void instance_gradients(std::span<const float> scores,
+                                  const data::Labels& y, std::size_t i,
+                                  std::span<float> g, std::span<float> h) const = 0;
+
+  // Mean loss over the dataset (used by convergence tests and reporting).
+  virtual double value(std::span<const float> scores, const data::Labels& y) const = 0;
+
+  // Approximate flop count per instance (for the cost model).
+  virtual std::uint64_t flops_per_instance(int n_outputs) const = 0;
+
+  // Default loss for a task: MSE for multiregression, softmax cross-entropy
+  // for multiclass, per-output sigmoid BCE for multilabel.
+  static std::unique_ptr<Loss> default_for(data::TaskKind task);
+};
+
+// Mean squared error: l = Σ_k (s_k − y_k)²; g = 2(s − y), h = 2 (the paper's
+// demonstration loss, §3.1.1).
+class MseLoss final : public Loss {
+ public:
+  const char* name() const override { return "mse"; }
+  void instance_gradients(std::span<const float> scores, const data::Labels& y,
+                          std::size_t i, std::span<float> g,
+                          std::span<float> h) const override;
+  double value(std::span<const float> scores, const data::Labels& y) const override;
+  std::uint64_t flops_per_instance(int n_outputs) const override {
+    return static_cast<std::uint64_t>(n_outputs) * 4;
+  }
+};
+
+// Softmax cross-entropy over d classes: g_k = p_k − y_k, h_k = p_k(1 − p_k),
+// with the Hessian floored for numerical stability.
+class SoftmaxCrossEntropyLoss final : public Loss {
+ public:
+  const char* name() const override { return "softmax_ce"; }
+  void instance_gradients(std::span<const float> scores, const data::Labels& y,
+                          std::size_t i, std::span<float> g,
+                          std::span<float> h) const override;
+  double value(std::span<const float> scores, const data::Labels& y) const override;
+  std::uint64_t flops_per_instance(int n_outputs) const override {
+    return static_cast<std::uint64_t>(n_outputs) * 12;
+  }
+};
+
+// Huber (pseudo-robust) loss per output: quadratic within ±delta of the
+// target, linear outside — robust multi-output regression for targets with
+// outliers. Second derivative is 2 inside the quadratic zone and a small
+// positive floor outside (the standard GBDT treatment).
+class HuberLoss final : public Loss {
+ public:
+  explicit HuberLoss(float delta = 1.0f) : delta_(delta) {}
+  const char* name() const override { return "huber"; }
+  void instance_gradients(std::span<const float> scores, const data::Labels& y,
+                          std::size_t i, std::span<float> g,
+                          std::span<float> h) const override;
+  double value(std::span<const float> scores, const data::Labels& y) const override;
+  std::uint64_t flops_per_instance(int n_outputs) const override {
+    return static_cast<std::uint64_t>(n_outputs) * 6;
+  }
+  float delta() const { return delta_; }
+
+ private:
+  float delta_;
+};
+
+// Independent sigmoid binary cross-entropy per output (multilabel).
+class SigmoidBceLoss final : public Loss {
+ public:
+  const char* name() const override { return "sigmoid_bce"; }
+  void instance_gradients(std::span<const float> scores, const data::Labels& y,
+                          std::size_t i, std::span<float> g,
+                          std::span<float> h) const override;
+  double value(std::span<const float> scores, const data::Labels& y) const override;
+  std::uint64_t flops_per_instance(int n_outputs) const override {
+    return static_cast<std::uint64_t>(n_outputs) * 10;
+  }
+};
+
+}  // namespace gbmo::core

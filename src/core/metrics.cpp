@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gbmo::core {
+
+double accuracy(std::span<const float> scores, const data::Labels& y) {
+  GBMO_CHECK(y.task() == data::TaskKind::kMulticlass);
+  const int d = y.n_outputs();
+  GBMO_CHECK(scores.size() == y.size() * static_cast<std::size_t>(d));
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float* s = scores.data() + i * static_cast<std::size_t>(d);
+    int best = 0;
+    for (int k = 1; k < d; ++k) {
+      if (s[k] > s[best]) best = k;
+    }
+    correct += (best == y.class_id(i)) ? 1 : 0;
+  }
+  return y.size() > 0 ? static_cast<double>(correct) / static_cast<double>(y.size())
+                      : 0.0;
+}
+
+double rmse(std::span<const float> scores, const data::Labels& y,
+            bool apply_sigmoid) {
+  const int d = y.n_outputs();
+  GBMO_CHECK(scores.size() == y.size() * static_cast<std::size_t>(d));
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      double s = scores[i * static_cast<std::size_t>(d) + static_cast<std::size_t>(k)];
+      if (apply_sigmoid) s = 1.0 / (1.0 + std::exp(-s));
+      const double diff = s - y.target(i, k);
+      sum_sq += diff * diff;
+    }
+  }
+  const auto cells = static_cast<double>(y.size()) * d;
+  return cells > 0 ? std::sqrt(sum_sq / cells) : 0.0;
+}
+
+double micro_f1(std::span<const float> scores, const data::Labels& y) {
+  GBMO_CHECK(y.task() == data::TaskKind::kMultilabel);
+  const int d = y.n_outputs();
+  std::size_t tp = 0, fp = 0, fn = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    for (int k = 0; k < d; ++k) {
+      const bool pred =
+          scores[i * static_cast<std::size_t>(d) + static_cast<std::size_t>(k)] > 0.0f;
+      const bool truth = y.target(i, k) > 0.5f;
+      tp += (pred && truth) ? 1 : 0;
+      fp += (pred && !truth) ? 1 : 0;
+      fn += (!pred && truth) ? 1 : 0;
+    }
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  return denom > 0 ? 2.0 * static_cast<double>(tp) / denom : 1.0;
+}
+
+EvalResult evaluate_primary(std::span<const float> scores, const data::Labels& y) {
+  switch (y.task()) {
+    case data::TaskKind::kMulticlass:
+      return {accuracy(scores, y) * 100.0, "accuracy%", true};
+    case data::TaskKind::kMultilabel:
+      return {rmse(scores, y, /*apply_sigmoid=*/true), "rmse", false};
+    case data::TaskKind::kMultiregression:
+      return {rmse(scores, y), "rmse", false};
+  }
+  return {};
+}
+
+}  // namespace gbmo::core

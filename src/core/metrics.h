@@ -1,0 +1,35 @@
+// Evaluation metrics matching the paper's Tables 3/4: accuracy for
+// multiclass, RMSE for multiregression and multilabel, plus auxiliary
+// metrics (logloss, micro-F1) used by the examples.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "data/matrix.h"
+
+namespace gbmo::core {
+
+// Fraction of instances whose argmax score matches the class id.
+double accuracy(std::span<const float> scores, const data::Labels& y);
+
+// Root mean squared error over all (instance, output) pairs against the
+// dense target view (for multilabel this is RMSE on the 0/1 indicators of
+// the sigmoid probabilities, matching SketchBoost's reporting).
+double rmse(std::span<const float> scores, const data::Labels& y,
+            bool apply_sigmoid = false);
+
+// Micro-averaged F1 for multilabel (threshold: sigmoid(score) > 0.5).
+double micro_f1(std::span<const float> scores, const data::Labels& y);
+
+struct EvalResult {
+  double value = 0.0;
+  std::string metric;  // "accuracy%" | "rmse"
+  bool higher_is_better = true;
+};
+
+// The paper's primary metric for the task: accuracy (%) for multiclass,
+// RMSE otherwise (sigmoid-transformed for multilabel).
+EvalResult evaluate_primary(std::span<const float> scores, const data::Labels& y);
+
+}  // namespace gbmo::core

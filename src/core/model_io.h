@@ -1,0 +1,19 @@
+// Model persistence: a line-oriented text format (.gbmo) that round-trips
+// the full model — task, output dimension, quantization cut points and every
+// tree (structure + d-dimensional leaf vectors).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/booster.h"
+
+namespace gbmo::core {
+
+void write_model(std::ostream& os, const Model& model);
+Model read_model(std::istream& is);
+
+void save_model(const std::string& path, const Model& model);
+Model load_model(const std::string& path);
+
+}  // namespace gbmo::core

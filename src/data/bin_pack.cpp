@@ -1,0 +1,28 @@
+#include "data/bin_pack.h"
+
+#include "common/error.h"
+
+namespace gbmo::data {
+
+void pack_bins(std::span<const std::uint8_t> bins, std::span<std::uint32_t> words) {
+  const std::size_t n_words = (bins.size() + 3) / 4;
+  GBMO_CHECK(words.size() >= n_words);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    std::uint32_t word = 0;
+    const std::size_t base = w * 4;
+    const std::size_t lanes = std::min<std::size_t>(4, bins.size() - base);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      word |= static_cast<std::uint32_t>(bins[base + lane]) << (lane * 8u);
+    }
+    words[w] = word;
+  }
+}
+
+void unpack_word(std::uint32_t word, std::uint8_t out[4]) {
+  out[0] = unpack_bin(word, 0);
+  out[1] = unpack_bin(word, 1);
+  out[2] = unpack_bin(word, 2);
+  out[3] = unpack_bin(word, 3);
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,23 @@
+// Bin packing (§3.4.1): four 1-byte bin ids packed into one 4-byte word so a
+// warp fetches 4 bins per memory transaction instead of one, and unpacked
+// with shifts/masks inside the kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gbmo::data {
+
+// Packs n bin ids into ceil(n/4) little-endian words; the tail word is
+// zero-padded.
+void pack_bins(std::span<const std::uint8_t> bins, std::span<std::uint32_t> words);
+
+// Extracts bin id `lane` (0..3) from a packed word.
+inline std::uint8_t unpack_bin(std::uint32_t word, unsigned lane) {
+  return static_cast<std::uint8_t>((word >> (lane * 8u)) & 0xFFu);
+}
+
+// Unpacks a full word into four bin ids.
+void unpack_word(std::uint32_t word, std::uint8_t out[4]);
+
+}  // namespace gbmo::data

@@ -1,0 +1,27 @@
+#include "data/binned_csc.h"
+
+#include "common/error.h"
+
+namespace gbmo::data {
+
+BinnedCscMatrix::BinnedCscMatrix(const BinnedMatrix& bins, const BinCuts& cuts)
+    : n_rows_(bins.n_rows()), n_cols_(bins.n_cols()) {
+  GBMO_CHECK(cuts.n_features() == n_cols_);
+  col_ptr_.reserve(n_cols_ + 1);
+  col_ptr_.push_back(0);
+  zero_bins_.reserve(n_cols_);
+  for (std::size_t f = 0; f < n_cols_; ++f) {
+    const std::uint8_t zb = cuts.bin_for(f, 0.0f);
+    zero_bins_.push_back(zb);
+    const auto col = bins.col(f);
+    for (std::size_t r = 0; r < n_rows_; ++r) {
+      if (col[r] != zb) {
+        rows_.push_back(static_cast<std::uint32_t>(r));
+        bins_.push_back(col[r]);
+      }
+    }
+    col_ptr_.push_back(static_cast<std::uint32_t>(rows_.size()));
+  }
+}
+
+}  // namespace gbmo::data

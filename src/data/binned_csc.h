@@ -1,0 +1,57 @@
+// Binned Compressed-Sparse-Column storage (§3.2 applied post-quantization):
+// per feature, only the entries whose bin differs from the feature's
+// zero-value bin are stored, as parallel (row, bin) arrays in ascending row
+// order. Everything the histogram pass needs — and nothing else — so the
+// footprint is proportional to the number of "interesting" entries instead
+// of n x m.
+//
+// The zero bin's statistics are reconstructed per node by subtraction
+// (node totals minus the stored bins), exactly like the sparsity-aware
+// dense path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/quantize.h"
+
+namespace gbmo::data {
+
+class BinnedCscMatrix {
+ public:
+  BinnedCscMatrix() = default;
+  // Keeps entries of `bins` whose bin id differs from cuts' zero bin.
+  BinnedCscMatrix(const BinnedMatrix& bins, const BinCuts& cuts);
+
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_cols() const { return n_cols_; }
+  std::size_t nnz() const { return rows_.size(); }
+  double density() const {
+    const double cells = static_cast<double>(n_rows_) * static_cast<double>(n_cols_);
+    return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
+  }
+
+  std::span<const std::uint32_t> col_rows(std::size_t f) const {
+    return {rows_.data() + col_ptr_[f], col_ptr_[f + 1] - col_ptr_[f]};
+  }
+  std::span<const std::uint8_t> col_bins(std::size_t f) const {
+    return {bins_.data() + col_ptr_[f], col_ptr_[f + 1] - col_ptr_[f]};
+  }
+  std::uint8_t zero_bin(std::size_t f) const { return zero_bins_[f]; }
+
+  std::size_t byte_size() const {
+    return rows_.size() * (sizeof(std::uint32_t) + 1) +
+           col_ptr_.size() * sizeof(std::uint32_t) + zero_bins_.size();
+  }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t n_cols_ = 0;
+  std::vector<std::uint32_t> rows_;      // ascending within each column
+  std::vector<std::uint8_t> bins_;       // parallel to rows_
+  std::vector<std::uint32_t> col_ptr_;   // n_cols + 1
+  std::vector<std::uint8_t> zero_bins_;  // per feature
+};
+
+}  // namespace gbmo::data

@@ -1,0 +1,70 @@
+#include "data/csc.h"
+
+#include <algorithm>
+
+namespace gbmo::data {
+
+CscMatrix CscMatrix::from_dense(const DenseMatrix& dense) {
+  CscMatrix m;
+  m.n_rows_ = dense.n_rows();
+  m.n_cols_ = dense.n_cols();
+  m.col_pointers_.reserve(m.n_cols_ + 1);
+  m.col_pointers_.push_back(0);
+  for (std::size_t c = 0; c < m.n_cols_; ++c) {
+    for (std::size_t r = 0; r < m.n_rows_; ++r) {
+      const float v = dense.at(r, c);
+      if (v != 0.0f) {
+        m.values_.push_back(v);
+        m.row_indices_.push_back(static_cast<std::uint32_t>(r));
+      }
+    }
+    m.col_pointers_.push_back(static_cast<std::uint32_t>(m.values_.size()));
+  }
+  return m;
+}
+
+CscMatrix::CscMatrix(std::size_t n_rows, std::size_t n_cols,
+                     std::vector<float> values,
+                     std::vector<std::uint32_t> row_indices,
+                     std::vector<std::uint32_t> col_pointers)
+    : n_rows_(n_rows),
+      n_cols_(n_cols),
+      values_(std::move(values)),
+      row_indices_(std::move(row_indices)),
+      col_pointers_(std::move(col_pointers)) {
+  GBMO_CHECK(col_pointers_.size() == n_cols_ + 1);
+  GBMO_CHECK(col_pointers_.front() == 0);
+  GBMO_CHECK(col_pointers_.back() == values_.size());
+  GBMO_CHECK(values_.size() == row_indices_.size());
+  for (std::size_t c = 0; c < n_cols_; ++c) {
+    GBMO_CHECK(col_pointers_[c] <= col_pointers_[c + 1]) << "col " << c;
+    for (std::uint32_t i = col_pointers_[c]; i < col_pointers_[c + 1]; ++i) {
+      GBMO_CHECK(row_indices_[i] < n_rows_);
+      if (i + 1 < col_pointers_[c + 1]) {
+        GBMO_CHECK(row_indices_[i] < row_indices_[i + 1])
+            << "row indices must be strictly increasing within a column";
+      }
+    }
+  }
+}
+
+DenseMatrix CscMatrix::to_dense() const {
+  DenseMatrix dense(n_rows_, n_cols_);
+  for (std::size_t c = 0; c < n_cols_; ++c) {
+    for (std::uint32_t i = col_pointers_[c]; i < col_pointers_[c + 1]; ++i) {
+      dense.at(row_indices_[i], c) = values_[i];
+    }
+  }
+  return dense;
+}
+
+float CscMatrix::at(std::size_t r, std::size_t c) const {
+  GBMO_CHECK(r < n_rows_ && c < n_cols_);
+  const auto rows = col_rows(c);
+  const auto it = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<std::uint32_t>(r));
+  if (it == rows.end() || *it != r) return 0.0f;
+  return values_[col_pointers_[c] + static_cast<std::size_t>(it - rows.begin())];
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,71 @@
+// Compressed Sparse Column storage (§3.2 of the paper).
+//
+// Three arrays: non-zero values (column-major order), their row indices, and
+// per-column start pointers (with one extra end sentinel). The paper's worked
+// example appears in the unit tests verbatim.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace gbmo::data {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  static CscMatrix from_dense(const DenseMatrix& dense);
+
+  // Builds directly from the three arrays (validated).
+  CscMatrix(std::size_t n_rows, std::size_t n_cols, std::vector<float> values,
+            std::vector<std::uint32_t> row_indices,
+            std::vector<std::uint32_t> col_pointers);
+
+  DenseMatrix to_dense() const;
+
+  std::size_t n_rows() const { return n_rows_; }
+  std::size_t n_cols() const { return n_cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  double density() const {
+    const auto cells = static_cast<double>(n_rows_) * static_cast<double>(n_cols_);
+    return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
+  }
+
+  // Non-zero entries of column c.
+  std::span<const float> col_values(std::size_t c) const {
+    GBMO_DCHECK(c < n_cols_);
+    return {values_.data() + col_pointers_[c], col_pointers_[c + 1] - col_pointers_[c]};
+  }
+  std::span<const std::uint32_t> col_rows(std::size_t c) const {
+    GBMO_DCHECK(c < n_cols_);
+    return {row_indices_.data() + col_pointers_[c],
+            col_pointers_[c + 1] - col_pointers_[c]};
+  }
+
+  std::span<const float> values() const { return values_; }
+  std::span<const std::uint32_t> row_indices() const { return row_indices_; }
+  std::span<const std::uint32_t> col_pointers() const { return col_pointers_; }
+
+  // O(log nnz_col) lookup; returns 0 for absent entries (CSC stores only
+  // non-zeros, so zero is the implicit default).
+  float at(std::size_t r, std::size_t c) const;
+
+  // Memory footprint in bytes (values + indices + pointers).
+  std::size_t byte_size() const {
+    return values_.size() * sizeof(float) +
+           row_indices_.size() * sizeof(std::uint32_t) +
+           col_pointers_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t n_rows_ = 0;
+  std::size_t n_cols_ = 0;
+  std::vector<float> values_;
+  std::vector<std::uint32_t> row_indices_;
+  std::vector<std::uint32_t> col_pointers_;
+};
+
+}  // namespace gbmo::data

@@ -1,0 +1,234 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gbmo::data {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, sep)) out.push_back(cell);
+  return out;
+}
+
+TaskKind parse_task(const std::string& s) {
+  if (s == "multiclass") return TaskKind::kMulticlass;
+  if (s == "multilabel") return TaskKind::kMultilabel;
+  if (s == "multiregress") return TaskKind::kMultiregression;
+  GBMO_CHECK(false) << "unknown task kind in file: " << s;
+  throw Error("unreachable");
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const Dataset& d) {
+  os << "task," << task_name(d.task()) << ',' << d.n_outputs() << '\n';
+  for (std::size_t i = 0; i < d.n_instances(); ++i) {
+    const auto row = d.x.row(i);
+    for (float v : row) os << v << ',';
+    switch (d.task()) {
+      case TaskKind::kMulticlass:
+        os << d.y.class_id(i);
+        break;
+      case TaskKind::kMultilabel:
+        for (int k = 0; k < d.n_outputs(); ++k) {
+          os << static_cast<int>(d.y.target(i, k));
+          if (k + 1 < d.n_outputs()) os << ',';
+        }
+        break;
+      case TaskKind::kMultiregression:
+        for (int k = 0; k < d.n_outputs(); ++k) {
+          os << d.y.target(i, k);
+          if (k + 1 < d.n_outputs()) os << ',';
+        }
+        break;
+    }
+    os << '\n';
+  }
+}
+
+Dataset read_csv(std::istream& is, std::size_t n_features) {
+  std::string line;
+  GBMO_CHECK(static_cast<bool>(std::getline(is, line))) << "empty CSV";
+  auto header = split_line(line, ',');
+  GBMO_CHECK(header.size() == 3 && header[0] == "task") << "bad CSV header";
+  const TaskKind task = parse_task(header[1]);
+  const int n_outputs = std::stoi(header[2]);
+
+  std::vector<float> features;
+  std::vector<std::int32_t> class_ids;
+  std::vector<std::uint8_t> indicators;
+  std::vector<float> targets;
+  std::size_t n = 0;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto cells = split_line(line, ',');
+    const std::size_t label_cells = task == TaskKind::kMulticlass
+                                        ? 1
+                                        : static_cast<std::size_t>(n_outputs);
+    GBMO_CHECK(cells.size() == n_features + label_cells)
+        << "line " << n + 2 << " has " << cells.size() << " cells";
+    for (std::size_t f = 0; f < n_features; ++f) {
+      features.push_back(std::stof(cells[f]));
+    }
+    switch (task) {
+      case TaskKind::kMulticlass:
+        class_ids.push_back(std::stoi(cells[n_features]));
+        break;
+      case TaskKind::kMultilabel:
+        for (int k = 0; k < n_outputs; ++k) {
+          indicators.push_back(static_cast<std::uint8_t>(
+              std::stoi(cells[n_features + static_cast<std::size_t>(k)])));
+        }
+        break;
+      case TaskKind::kMultiregression:
+        for (int k = 0; k < n_outputs; ++k) {
+          targets.push_back(
+              std::stof(cells[n_features + static_cast<std::size_t>(k)]));
+        }
+        break;
+    }
+    ++n;
+  }
+
+  Dataset d;
+  d.name = "csv";
+  d.x = DenseMatrix(n, n_features);
+  std::copy(features.begin(), features.end(), d.x.values().begin());
+  switch (task) {
+    case TaskKind::kMulticlass:
+      d.y = Labels::multiclass(std::move(class_ids), n_outputs);
+      break;
+    case TaskKind::kMultilabel:
+      d.y = Labels::multilabel(std::move(indicators), n, n_outputs);
+      break;
+    case TaskKind::kMultiregression:
+      d.y = Labels::multiregression(std::move(targets), n, n_outputs);
+      break;
+  }
+  return d;
+}
+
+void write_csv_file(const std::string& path, const Dataset& d) {
+  std::ofstream os(path);
+  GBMO_CHECK(os.good()) << "cannot open " << path;
+  write_csv(os, d);
+}
+
+Dataset read_csv_file(const std::string& path, std::size_t n_features) {
+  std::ifstream is(path);
+  GBMO_CHECK(is.good()) << "cannot open " << path;
+  return read_csv(is, n_features);
+}
+
+void write_libsvm(std::ostream& os, const Dataset& d) {
+  for (std::size_t i = 0; i < d.n_instances(); ++i) {
+    switch (d.task()) {
+      case TaskKind::kMulticlass:
+        os << d.y.class_id(i);
+        break;
+      case TaskKind::kMultilabel: {
+        bool first = true;
+        for (int k = 0; k < d.n_outputs(); ++k) {
+          if (d.y.target(i, k) != 0.0f) {
+            if (!first) os << ',';
+            os << k;
+            first = false;
+          }
+        }
+        if (first) os << "";  // no labels: empty label field
+        break;
+      }
+      case TaskKind::kMultiregression:
+        for (int k = 0; k < d.n_outputs(); ++k) {
+          if (k > 0) os << ',';
+          os << d.y.target(i, k);
+        }
+        break;
+    }
+    const auto row = d.x.row(i);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      if (row[f] != 0.0f) os << ' ' << f << ':' << row[f];
+    }
+    os << '\n';
+  }
+}
+
+Dataset read_libsvm(std::istream& is, std::size_t n_features, TaskKind task,
+                    int n_outputs) {
+  std::vector<std::vector<std::pair<std::uint32_t, float>>> rows;
+  std::vector<std::int32_t> class_ids;
+  std::vector<std::uint8_t> indicators;
+  std::vector<float> targets;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string label_field;
+    ls >> label_field;
+    switch (task) {
+      case TaskKind::kMulticlass:
+        class_ids.push_back(std::stoi(label_field));
+        break;
+      case TaskKind::kMultilabel: {
+        std::vector<std::uint8_t> ind(static_cast<std::size_t>(n_outputs), 0);
+        if (!label_field.empty()) {
+          for (const auto& tok : split_line(label_field, ',')) {
+            if (tok.empty()) continue;
+            const int k = std::stoi(tok);
+            GBMO_CHECK(k >= 0 && k < n_outputs);
+            ind[static_cast<std::size_t>(k)] = 1;
+          }
+        }
+        indicators.insert(indicators.end(), ind.begin(), ind.end());
+        break;
+      }
+      case TaskKind::kMultiregression: {
+        const auto toks = split_line(label_field, ',');
+        GBMO_CHECK(toks.size() == static_cast<std::size_t>(n_outputs));
+        for (const auto& tok : toks) targets.push_back(std::stof(tok));
+        break;
+      }
+    }
+    std::vector<std::pair<std::uint32_t, float>> row;
+    std::string kv;
+    while (ls >> kv) {
+      const auto colon = kv.find(':');
+      GBMO_CHECK(colon != std::string::npos) << "bad libsvm pair: " << kv;
+      const auto f = static_cast<std::uint32_t>(std::stoul(kv.substr(0, colon)));
+      GBMO_CHECK(f < n_features) << "feature index out of range: " << f;
+      row.emplace_back(f, std::stof(kv.substr(colon + 1)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dataset d;
+  d.name = "libsvm";
+  d.x = DenseMatrix(rows.size(), n_features);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (const auto& [f, v] : rows[i]) d.x.at(i, f) = v;
+  }
+  const std::size_t n = rows.size();
+  switch (task) {
+    case TaskKind::kMulticlass:
+      d.y = Labels::multiclass(std::move(class_ids), n_outputs);
+      break;
+    case TaskKind::kMultilabel:
+      d.y = Labels::multilabel(std::move(indicators), n, n_outputs);
+      break;
+    case TaskKind::kMultiregression:
+      d.y = Labels::multiregression(std::move(targets), n, n_outputs);
+      break;
+  }
+  return d;
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,123 @@
+#include "data/matrix.h"
+
+#include "common/rng.h"
+
+namespace gbmo::data {
+
+const char* task_name(TaskKind t) {
+  switch (t) {
+    case TaskKind::kMulticlass:
+      return "multiclass";
+    case TaskKind::kMultilabel:
+      return "multilabel";
+    case TaskKind::kMultiregression:
+      return "multiregress";
+  }
+  return "?";
+}
+
+std::vector<float> DenseMatrix::col(std::size_t c) const {
+  GBMO_CHECK(c < n_cols_);
+  std::vector<float> out(n_rows_);
+  for (std::size_t r = 0; r < n_rows_; ++r) out[r] = values_[r * n_cols_ + c];
+  return out;
+}
+
+double DenseMatrix::zero_fraction() const {
+  if (values_.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (float v : values_) zeros += (v == 0.0f) ? 1 : 0;
+  return static_cast<double>(zeros) / static_cast<double>(values_.size());
+}
+
+Labels Labels::multiclass(std::vector<std::int32_t> class_ids, int n_classes) {
+  GBMO_CHECK(n_classes >= 2);
+  for (auto c : class_ids) GBMO_CHECK(c >= 0 && c < n_classes) << "class id " << c;
+  Labels l;
+  l.task_ = TaskKind::kMulticlass;
+  l.n_ = class_ids.size();
+  l.n_outputs_ = n_classes;
+  l.class_ids_ = std::move(class_ids);
+  return l;
+}
+
+Labels Labels::multilabel(std::vector<std::uint8_t> indicators, std::size_t n,
+                          int n_outputs) {
+  GBMO_CHECK(indicators.size() == n * static_cast<std::size_t>(n_outputs));
+  Labels l;
+  l.task_ = TaskKind::kMultilabel;
+  l.n_ = n;
+  l.n_outputs_ = n_outputs;
+  l.indicators_ = std::move(indicators);
+  return l;
+}
+
+Labels Labels::multiregression(std::vector<float> targets, std::size_t n,
+                               int n_outputs) {
+  GBMO_CHECK(targets.size() == n * static_cast<std::size_t>(n_outputs));
+  Labels l;
+  l.task_ = TaskKind::kMultiregression;
+  l.n_ = n;
+  l.n_outputs_ = n_outputs;
+  l.targets_ = std::move(targets);
+  return l;
+}
+
+Labels Labels::subset(std::span<const std::uint32_t> rows) const {
+  Labels out;
+  out.task_ = task_;
+  out.n_ = rows.size();
+  out.n_outputs_ = n_outputs_;
+  switch (task_) {
+    case TaskKind::kMulticlass:
+      out.class_ids_.reserve(rows.size());
+      for (auto r : rows) out.class_ids_.push_back(class_ids_[r]);
+      break;
+    case TaskKind::kMultilabel:
+      out.indicators_.reserve(rows.size() * n_outputs_);
+      for (auto r : rows) {
+        const auto* src = indicators_.data() + static_cast<std::size_t>(r) * n_outputs_;
+        out.indicators_.insert(out.indicators_.end(), src, src + n_outputs_);
+      }
+      break;
+    case TaskKind::kMultiregression:
+      out.targets_.reserve(rows.size() * n_outputs_);
+      for (auto r : rows) {
+        const auto* src = targets_.data() + static_cast<std::size_t>(r) * n_outputs_;
+        out.targets_.insert(out.targets_.end(), src, src + n_outputs_);
+      }
+      break;
+  }
+  return out;
+}
+
+TrainTestSplit split_dataset(const Dataset& full, double test_fraction,
+                             std::uint64_t seed) {
+  GBMO_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  Rng rng(seed);
+  std::vector<std::uint32_t> train_rows;
+  std::vector<std::uint32_t> test_rows;
+  for (std::uint32_t i = 0; i < full.n_instances(); ++i) {
+    (rng.next_double() < test_fraction ? test_rows : train_rows).push_back(i);
+  }
+  GBMO_CHECK(!train_rows.empty() && !test_rows.empty());
+
+  auto take = [&](std::span<const std::uint32_t> rows) {
+    Dataset d;
+    d.name = full.name;
+    d.x = DenseMatrix(rows.size(), full.n_features());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      auto src = full.x.row(rows[i]);
+      std::copy(src.begin(), src.end(), d.x.row(i).begin());
+    }
+    d.y = full.y.subset(rows);
+    return d;
+  };
+
+  TrainTestSplit split;
+  split.train = take(train_rows);
+  split.test = take(test_rows);
+  return split;
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,113 @@
+#include "data/paper_datasets.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+
+namespace gbmo::data {
+
+namespace {
+
+// Bench shapes are chosen so one tree level touches <= ~4M
+// (instance, feature, output) triples, keeping the single-core functional
+// simulation tractable. scale_factor() extrapolates modeled times back to the
+// paper's shape; EXPERIMENTS.md documents this protocol.
+std::vector<ReplicaSpec> build_specs() {
+  std::vector<ReplicaSpec> specs;
+  // name, task, full{n, m, d}, bench{n, m, d}, sparsity, seed
+  specs.push_back({"Otto", TaskKind::kMulticlass, {61878, 93, 9}, {6000, 60, 9}, 0.60, 101});
+  specs.push_back({"SF-Crime", TaskKind::kMulticlass, {878049, 10, 39}, {6000, 10, 39}, 0.00, 102});
+  specs.push_back({"Helena", TaskKind::kMulticlass, {65196, 27, 100}, {1000, 27, 100}, 0.00, 103});
+  specs.push_back({"Caltech101", TaskKind::kMulticlass, {6073, 324, 101}, {1000, 64, 101}, 0.30, 104});
+  specs.push_back({"MNIST", TaskKind::kMulticlass, {50000, 784, 10}, {2000, 144, 10}, 0.75, 105});
+  specs.push_back({"MNIST-IN", TaskKind::kMultiregression, {50000, 200, 24}, {1500, 64, 24}, 0.30, 106});
+  specs.push_back({"RF1", TaskKind::kMultiregression, {9125, 61, 16}, {2000, 40, 16}, 0.10, 107});
+  specs.push_back({"Delicious", TaskKind::kMultilabel, {16105, 500, 983}, {800, 64, 64}, 0.95, 108});
+  specs.push_back({"NUS-WIDE", TaskKind::kMultilabel, {161789, 128, 81}, {800, 48, 81}, 0.00, 109});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ReplicaSpec>& paper_datasets() {
+  static const std::vector<ReplicaSpec> specs = build_specs();
+  return specs;
+}
+
+const ReplicaSpec& find_dataset(const std::string& name) {
+  for (const auto& s : paper_datasets()) {
+    if (s.name == name) return s;
+  }
+  GBMO_CHECK(false) << "unknown paper dataset: " << name;
+  throw Error("unreachable");
+}
+
+Dataset make_replica(const ReplicaSpec& spec) {
+  Dataset d;
+  switch (spec.task) {
+    case TaskKind::kMulticlass: {
+      MulticlassSpec mc;
+      mc.n_instances = spec.bench.n_instances;
+      mc.n_features = spec.bench.n_features;
+      mc.n_classes = spec.bench.n_outputs;
+      mc.n_informative =
+          std::max(4, static_cast<int>(spec.bench.n_features) / 2);
+      // Easy tasks (MNIST) get well-separated clusters; hard ones
+      // (SF-Crime, Helena, Caltech101) get overlapping classes, matching the
+      // accuracy regimes the paper reports.
+      if (spec.name == "MNIST") {
+        mc.cluster_sep = 2.4;
+      } else if (spec.name == "Otto") {
+        mc.cluster_sep = 1.9;
+      } else if (spec.name == "Caltech101") {
+        mc.cluster_sep = 2.6;
+      } else {
+        mc.cluster_sep = 0.7;  // SF-Crime, Helena: heavily overlapping
+      }
+      mc.sparsity = spec.sparsity;
+      mc.seed = spec.seed;
+      d = make_multiclass(mc);
+      break;
+    }
+    case TaskKind::kMultilabel: {
+      MultilabelSpec ml;
+      ml.n_instances = spec.bench.n_instances;
+      ml.n_features = spec.bench.n_features;
+      ml.n_outputs = spec.bench.n_outputs;
+      ml.n_topics = std::max(6, spec.bench.n_outputs / 8);
+      // Delicious averages ~19 labels over 983 outputs (density ~0.019);
+      // NUS-WIDE ~1.9 over 81. Densities are kept at bench scale with a
+      // floor so each label keeps enough positives to be learnable at the
+      // replica's instance count.
+      ml.labels_per_instance =
+          (spec.name == "Delicious")
+              ? std::max(2.5, 0.019 * spec.bench.n_outputs)
+              : 1.9;
+      ml.sparsity = spec.sparsity;
+      ml.seed = spec.seed;
+      d = make_multilabel(ml);
+      break;
+    }
+    case TaskKind::kMultiregression: {
+      MultiregressionSpec mr;
+      mr.n_instances = spec.bench.n_instances;
+      mr.n_features = spec.bench.n_features;
+      mr.n_outputs = spec.bench.n_outputs;
+      mr.rank = (spec.name == "MNIST-IN") ? 8 : 4;
+      mr.noise_std = (spec.name == "RF1") ? 0.30 : 0.15;
+      mr.sparsity = spec.sparsity;
+      mr.seed = spec.seed;
+      d = make_multiregression(mr);
+      break;
+    }
+  }
+  d.name = spec.name;
+  return d;
+}
+
+std::vector<std::string> sensitivity_dataset_names() {
+  return {"MNIST", "Caltech101", "MNIST-IN", "NUS-WIDE"};
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,57 @@
+// Replicas of the paper's nine evaluation datasets (Table 1).
+//
+// The originals are proprietary-download benchmark sets; we regenerate
+// datasets with matching shape (instances, features, outputs), task type and
+// sparsity using the synthetic generators. `full` carries the paper's Table 1
+// shape (used for reporting and for extrapolating modeled times);
+// `bench` is the scaled shape actually trained by the functional simulation
+// (scale factors are recorded in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace gbmo::data {
+
+struct Shape {
+  std::size_t n_instances = 0;
+  std::size_t n_features = 0;
+  int n_outputs = 0;
+
+  // Histogram-work volume per tree level: every instance contributes one
+  // update per feature per output. Used to extrapolate bench-scale modeled
+  // times to the paper's full scale.
+  double level_volume() const {
+    return static_cast<double>(n_instances) * static_cast<double>(n_features) *
+           static_cast<double>(n_outputs);
+  }
+};
+
+struct ReplicaSpec {
+  std::string name;       // paper's dataset name
+  TaskKind task;
+  Shape full;             // Table 1 shape
+  Shape bench;            // shape trained by the functional simulation
+  double sparsity = 0.0;  // fraction of exact zeros in features
+  std::uint64_t seed = 2025;
+
+  double scale_factor() const { return full.level_volume() / bench.level_volume(); }
+};
+
+// All nine datasets in the paper's Table 1 order.
+const std::vector<ReplicaSpec>& paper_datasets();
+
+// Lookup by paper name (case-sensitive); throws if unknown.
+const ReplicaSpec& find_dataset(const std::string& name);
+
+// Generates the bench-scale replica (use .full shape only for reporting).
+Dataset make_replica(const ReplicaSpec& spec);
+
+// The four datasets used by the paper's Figures 4/5/6a/7 sensitivity plots.
+std::vector<std::string> sensitivity_dataset_names();
+
+}  // namespace gbmo::data

@@ -1,0 +1,51 @@
+// Synthetic dataset generators.
+//
+// make_multiclass follows the scikit-learn `make_classification` recipe the
+// paper's Figure 6b uses: class clusters placed on hypercube vertices in an
+// informative subspace, rotated into feature space, plus redundant and noise
+// features. The multilabel and multiregression generators create correlated
+// outputs (shared latent factors), which is the regime GBDT-MO targets.
+#pragma once
+
+#include <cstdint>
+
+#include "data/matrix.h"
+
+namespace gbmo::data {
+
+struct MulticlassSpec {
+  std::size_t n_instances = 1000;
+  std::size_t n_features = 20;
+  int n_classes = 5;
+  int n_informative = 10;       // clamped to n_features
+  double cluster_sep = 1.6;     // distance scale between class centers
+  double noise_std = 1.0;       // within-cluster spread
+  double sparsity = 0.0;        // fraction of entries forced to exact zero
+  std::uint64_t seed = 42;
+};
+Dataset make_multiclass(const MulticlassSpec& spec);
+
+struct MultilabelSpec {
+  std::size_t n_instances = 1000;
+  std::size_t n_features = 50;
+  int n_outputs = 10;
+  int n_topics = 8;             // latent factors shared by features & labels
+  double labels_per_instance = 2.5;
+  double sparsity = 0.7;        // feature sparsity (bag-of-words-like)
+  std::uint64_t seed = 42;
+};
+Dataset make_multilabel(const MultilabelSpec& spec);
+
+struct MultiregressionSpec {
+  std::size_t n_instances = 1000;
+  std::size_t n_features = 20;
+  int n_outputs = 8;
+  int rank = 4;                 // rank of the feature->output map (output
+                                // correlation structure)
+  double noise_std = 0.1;
+  double sparsity = 0.0;
+  std::uint64_t seed = 42;
+};
+Dataset make_multiregression(const MultiregressionSpec& spec);
+
+}  // namespace gbmo::data

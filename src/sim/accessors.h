@@ -1,0 +1,109 @@
+// Counted memory accessors.
+//
+// Kernels touch global and shared memory through these wrappers so the
+// substrate can account traffic without kernels littering counter updates.
+// The declared access pattern decides how bytes convert to transactions:
+//   - Coalesced: consecutive lanes touch consecutive addresses; bytes are
+//     serviced at full transaction width.
+//   - Random:    every access is its own 32-byte transaction (gather).
+//   - Broadcast: one transaction serves the whole warp (uniform loads).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/error.h"
+#include "sim/counters.h"
+
+namespace gbmo::sim {
+
+enum class Access : std::uint8_t { kCoalesced, kRandom, kBroadcast };
+
+template <typename T>
+class Global {
+ public:
+  Global(std::span<T> data, KernelStats& stats, Access pattern = Access::kCoalesced)
+      : data_(data), stats_(&stats), pattern_(pattern) {}
+
+  T load(std::size_t i) const {
+    GBMO_DCHECK(i < data_.size());
+    count(sizeof(T));
+    return data_[i];
+  }
+
+  void store(std::size_t i, const T& v) {
+    GBMO_DCHECK(i < data_.size());
+    count(sizeof(T));
+    data_[i] = v;
+  }
+
+  // Atomic add with same-address conflict tracking. Blocks execute one at a
+  // time per host thread, so the plain add is race-free within a block; when
+  // blocks run concurrently on a multi-core host the accumulation targets
+  // must be block-partitioned or the caller must use AtomicGlobal below.
+  void atomic_add(std::size_t i, const T& v) {
+    GBMO_DCHECK(i < data_.size());
+    data_[i] += v;
+    ++stats_->atomic_global_ops;
+    stats_->atomic_global_conflicts +=
+        conflicts_.note(reinterpret_cast<std::uintptr_t>(&data_[i]));
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::span<T> raw() { return data_; }
+
+ private:
+  void count(std::size_t bytes) const {
+    if (pattern_ == Access::kRandom) {
+      ++stats_->gmem_random_accesses;
+    } else if (pattern_ == Access::kBroadcast) {
+      // Whole warp served by one transaction: charge 1/32 of a 32B line.
+      stats_->gmem_coalesced_bytes += 1;
+    } else {
+      stats_->gmem_coalesced_bytes += bytes;
+    }
+  }
+
+  std::span<T> data_;
+  KernelStats* stats_;
+  Access pattern_;
+  mutable ConflictTracker conflicts_;
+};
+
+// Shared-memory array scoped to a block phase. Sized against the device's
+// shared memory budget by the caller (histogram tiling computes the fit).
+template <typename T>
+class Shared {
+ public:
+  Shared(std::vector<T>& storage, KernelStats& stats)
+      : data_(storage), stats_(&stats) {}
+
+  T load(std::size_t i) const {
+    GBMO_DCHECK(i < data_.size());
+    stats_->smem_bytes += sizeof(T);
+    return data_[i];
+  }
+
+  void store(std::size_t i, const T& v) {
+    GBMO_DCHECK(i < data_.size());
+    stats_->smem_bytes += sizeof(T);
+    data_[i] = v;
+  }
+
+  void atomic_add(std::size_t i, const T& v) {
+    GBMO_DCHECK(i < data_.size());
+    data_[i] += v;
+    ++stats_->atomic_shared_ops;
+    stats_->atomic_shared_conflicts +=
+        conflicts_.note(reinterpret_cast<std::uintptr_t>(&data_[i]));
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<T>& data_;
+  KernelStats* stats_;
+  mutable ConflictTracker conflicts_;
+};
+
+}  // namespace gbmo::sim

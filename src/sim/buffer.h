@@ -1,0 +1,104 @@
+// RAII device allocations for the simulated GPU.
+//
+// Functionally a DeviceBuffer is host memory; what makes it a *device*
+// buffer is the accounting: allocation counts against the device's memory
+// capacity (OOM modeling) and host<->device copies are charged PCIe time.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/device.h"
+
+namespace gbmo::sim {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(Device& dev, std::size_t n) : dev_(&dev) { resize(n); }
+
+  DeviceBuffer(Device& dev, std::span<const T> host) : dev_(&dev) {
+    resize(host.size());
+    copy_from_host(host);
+  }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { swap(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    release();
+    swap(o);
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  ~DeviceBuffer() { release(); }
+
+  void resize(std::size_t n) {
+    GBMO_CHECK(dev_ != nullptr) << "DeviceBuffer not bound to a device";
+    const std::size_t new_bytes = n * sizeof(T);
+    const std::size_t old_bytes = data_.size() * sizeof(T);
+    if (new_bytes > old_bytes) {
+      const std::size_t extra = new_bytes - old_bytes;
+      if (!dev_->fits(extra)) {
+        throw OutOfDeviceMemory(extra, dev_->allocated_bytes(),
+                                dev_->spec().memory_bytes);
+      }
+      dev_->note_alloc(extra);
+    } else {
+      dev_->note_free(old_bytes - new_bytes);
+    }
+    data_.resize(n);
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  // Host -> device copy; charged at PCIe bandwidth.
+  void copy_from_host(std::span<const T> host) {
+    GBMO_CHECK(host.size() == data_.size());
+    std::memcpy(data_.data(), host.data(), host.size_bytes());
+    charge_transfer(host.size_bytes());
+  }
+
+  // Device -> host copy; charged at PCIe bandwidth.
+  void copy_to_host(std::span<T> host) const {
+    GBMO_CHECK(host.size() == data_.size());
+    std::memcpy(host.data(), data_.data(), host.size_bytes());
+    charge_transfer(host.size_bytes());
+  }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  Device* device() const { return dev_; }
+
+ private:
+  void charge_transfer(std::size_t bytes) const {
+    if (dev_ != nullptr && bytes > 0) {
+      dev_->add_modeled_time(1e-5 + static_cast<double>(bytes) / dev_->spec().pcie_bandwidth);
+    }
+  }
+  void release() {
+    if (dev_ != nullptr) dev_->note_free(data_.size() * sizeof(T));
+    data_.clear();
+    dev_ = nullptr;
+  }
+  void swap(DeviceBuffer& o) {
+    std::swap(dev_, o.dev_);
+    std::swap(data_, o.data_);
+  }
+
+  Device* dev_ = nullptr;
+  std::vector<T> data_;
+};
+
+}  // namespace gbmo::sim

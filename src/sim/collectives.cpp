@@ -1,0 +1,138 @@
+#include "sim/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gbmo::sim {
+
+DeviceGroup::DeviceGroup(DeviceSpec spec, int n_devices, LinkSpec link)
+    : link_(link) {
+  GBMO_CHECK(n_devices >= 1);
+  devices_.reserve(static_cast<std::size_t>(n_devices));
+  for (int i = 0; i < n_devices; ++i) {
+    devices_.push_back(std::make_unique<Device>(spec, i));
+  }
+}
+
+void DeviceGroup::set_phase(const std::string& phase) {
+  for (auto& d : devices_) d->set_phase(phase);
+}
+
+double DeviceGroup::max_modeled_seconds() const {
+  double m = 0.0;
+  for (const auto& d : devices_) m = std::max(m, d->modeled_seconds());
+  return m;
+}
+
+void DeviceGroup::reset_time() {
+  for (auto& d : devices_) d->reset_time();
+}
+
+void DeviceGroup::charge_all(double seconds) {
+  // Collective time is always attributed to the "comm" phase, whatever
+  // pipeline phase the devices are in when the exchange happens.
+  for (auto& d : devices_) {
+    const std::string phase = d->phase();
+    d->set_phase("comm");
+    d->add_modeled_time(seconds);
+    d->set_phase(phase);
+  }
+}
+
+void DeviceGroup::all_reduce_sum(std::vector<std::span<float>> per_device) {
+  GBMO_CHECK(per_device.size() == devices_.size());
+  if (per_device.empty() || per_device[0].empty()) return;
+  const std::size_t n = per_device[0].size();
+  for (const auto& s : per_device) GBMO_CHECK(s.size() == n);
+
+  // Functional reduction into device 0's buffer, then replicate.
+  for (std::size_t d = 1; d < per_device.size(); ++d) {
+    for (std::size_t i = 0; i < n; ++i) per_device[0][i] += per_device[d][i];
+  }
+  for (std::size_t d = 1; d < per_device.size(); ++d) {
+    std::copy(per_device[0].begin(), per_device[0].end(), per_device[d].begin());
+  }
+
+  const int k = size();
+  if (k == 1) return;
+  // Ring all-reduce: each device moves 2*(k-1)/k of the payload over 2*(k-1)
+  // latency hops.
+  const double bytes = static_cast<double>(n) * sizeof(float);
+  const double t = 2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency);
+  charge_all(t);
+}
+
+void DeviceGroup::all_reduce_sum_u32(
+    std::vector<std::span<std::uint32_t>> per_device) {
+  GBMO_CHECK(per_device.size() == devices_.size());
+  if (per_device.empty() || per_device[0].empty()) return;
+  const std::size_t n = per_device[0].size();
+  for (const auto& s : per_device) GBMO_CHECK(s.size() == n);
+
+  for (std::size_t d = 1; d < per_device.size(); ++d) {
+    for (std::size_t i = 0; i < n; ++i) per_device[0][i] += per_device[d][i];
+  }
+  for (std::size_t d = 1; d < per_device.size(); ++d) {
+    std::copy(per_device[0].begin(), per_device[0].end(), per_device[d].begin());
+  }
+
+  const int k = size();
+  if (k == 1) return;
+  const double bytes = static_cast<double>(n) * sizeof(std::uint32_t);
+  charge_all(2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency));
+}
+
+void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
+                             std::vector<std::span<float>> out) {
+  GBMO_CHECK(per_device.size() == devices_.size());
+  GBMO_CHECK(out.size() == devices_.size());
+  std::size_t total = 0;
+  for (const auto& s : per_device) total += s.size();
+  for (const auto& o : out) GBMO_CHECK(o.size() == total);
+
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    std::size_t pos = 0;
+    for (const auto& s : per_device) {
+      std::copy(s.begin(), s.end(), out[d].begin() + static_cast<std::ptrdiff_t>(pos));
+      pos += s.size();
+    }
+  }
+
+  const int k = size();
+  if (k == 1) return;
+  const double bytes = static_cast<double>(total) * sizeof(float);
+  const double t = (k - 1) * (bytes / k / link_.bandwidth + link_.latency);
+  charge_all(t);
+}
+
+void DeviceGroup::charge_broadcast(std::size_t bytes, int root) {
+  GBMO_CHECK(root >= 0 && root < size());
+  const int k = size();
+  if (k == 1) return;
+  const double hops = std::ceil(std::log2(static_cast<double>(k)));
+  const double t = hops * (static_cast<double>(bytes) / link_.bandwidth + link_.latency);
+  charge_all(t);
+}
+
+BestSplitMsg DeviceGroup::all_reduce_best_split(
+    std::span<const BestSplitMsg> per_device) {
+  GBMO_CHECK(per_device.size() == devices_.size());
+  BestSplitMsg best = per_device[0];
+  for (std::size_t d = 1; d < per_device.size(); ++d) {
+    const auto& m = per_device[d];
+    if (m.gain > best.gain ||
+        (m.gain == best.gain && m.device >= 0 && m.device < best.device)) {
+      best = m;
+    }
+  }
+  const int k = size();
+  if (k > 1) {
+    const double hops = 2.0 * std::ceil(std::log2(static_cast<double>(k)));
+    charge_all(hops * (sizeof(BestSplitMsg) / link_.bandwidth + link_.latency));
+  }
+  return best;
+}
+
+}  // namespace gbmo::sim

@@ -1,0 +1,74 @@
+// Multi-device group and collective communication (the NCCL stand-in).
+//
+// The paper's multi-GPU mode partitions feature columns across devices,
+// builds partial histograms locally, and exchanges only summary statistics
+// (§3.4.2). DeviceGroup models the devices plus the interconnect; the
+// collectives are functionally exact and charge ring-algorithm time to every
+// participant under the device's current phase label.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/device.h"
+#include "sim/primitives.h"
+
+namespace gbmo::sim {
+
+struct LinkSpec {
+  double bandwidth = 25e9;   // bytes/s per direction (PCIe 4.0 x16 effective)
+  double latency = 8e-6;     // per message hop
+  static LinkSpec pcie4() { return {25e9, 8e-6}; }
+  static LinkSpec nvlink() { return {200e9, 3e-6}; }
+};
+
+// A candidate split exchanged between devices; only the fields needed to
+// agree on the global winner and route the partition broadcast.
+struct BestSplitMsg {
+  float gain = 0.0f;
+  std::int32_t device = -1;
+  std::int32_t feature = -1;
+  std::int32_t bin = -1;
+  std::int32_t node = -1;
+};
+
+class DeviceGroup {
+ public:
+  DeviceGroup(DeviceSpec spec, int n_devices, LinkSpec link = LinkSpec::pcie4());
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+  const LinkSpec& link() const { return link_; }
+
+  void set_phase(const std::string& phase);
+  double max_modeled_seconds() const;
+  void reset_time();
+
+  // Element-wise sum across per-device buffers (all same length); every
+  // device ends with the reduced values. Ring all-reduce cost.
+  void all_reduce_sum(std::vector<std::span<float>> per_device);
+  void all_reduce_sum_u32(std::vector<std::span<std::uint32_t>> per_device);
+
+  // Concatenation exchange: every device contributes its span, every device
+  // receives all spans (functionally gathered into `out` for each device).
+  void all_gather(std::vector<std::span<const float>> per_device,
+                  std::vector<std::span<float>> out);
+
+  // Broadcast `bytes`-sized payload from root to all (tree algorithm cost);
+  // purely a timing charge — callers share host memory functionally.
+  void charge_broadcast(std::size_t bytes, int root);
+
+  // Agree on the best split across devices: max-gain wins, ties broken by
+  // lower device id (deterministic). Tiny payload, latency-dominated.
+  BestSplitMsg all_reduce_best_split(std::span<const BestSplitMsg> per_device);
+
+ private:
+  void charge_all(double seconds);
+
+  std::vector<std::unique_ptr<Device>> devices_;
+  LinkSpec link_;
+};
+
+}  // namespace gbmo::sim

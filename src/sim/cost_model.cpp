@@ -1,0 +1,56 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace gbmo::sim {
+
+double CostModel::occupancy(std::uint64_t blocks) const {
+  if (spec_.sm_count <= 1) return 1.0;  // CPU spec: always "fully occupied"
+  const double saturation = 2.0 * spec_.sm_count;
+  const double occ = static_cast<double>(blocks) / saturation;
+  return std::clamp(occ, 1.0 / saturation, 1.0);
+}
+
+KernelTimeBreakdown CostModel::breakdown(const KernelStats& s) const {
+  KernelTimeBreakdown t;
+  const double occ = occupancy(std::max<std::uint64_t>(s.blocks, 1));
+
+  t.launch = spec_.kernel_launch_s;
+
+  // Coalesced traffic runs at bandwidth; scattered gathers are limited by
+  // the transaction rate (each costs a 32B line regardless of payload).
+  t.gmem = static_cast<double>(s.gmem_coalesced_bytes) /
+               (spec_.mem_bandwidth * occ) +
+           static_cast<double>(s.gmem_random_accesses) /
+               (spec_.random_access_throughput * occ);
+
+  t.smem = static_cast<double>(s.smem_bytes) / (spec_.smem_bandwidth * occ);
+
+  t.compute = static_cast<double>(s.flops) / (spec_.flops * occ);
+
+  // Atomics: conflict-free throughput plus serialization of collisions.
+  // Shared-memory atomics are roughly 4x cheaper than global ones.
+  const double g_atomics =
+      static_cast<double>(s.atomic_global_ops) / (spec_.atomic_throughput * occ) +
+      static_cast<double>(s.atomic_global_conflicts) * spec_.atomic_serialization_s;
+  const double s_atomics =
+      static_cast<double>(s.atomic_shared_ops) /
+          (4.0 * spec_.atomic_throughput * occ) +
+      static_cast<double>(s.atomic_shared_conflicts) *
+          (spec_.atomic_serialization_s * 0.5);
+  t.atomics = g_atomics + s_atomics;
+
+  // Library sorts/scans are bandwidth-bound over multiple passes; the
+  // recorded byte volumes already include the pass count.
+  t.sort = (static_cast<double>(s.sort_pairs_bytes) +
+            static_cast<double>(s.scan_bytes)) /
+           (spec_.mem_bandwidth * occ);
+
+  // Compute and (non-atomic) memory overlap; atomic read-modify-writes
+  // serialize against the load pipeline and add on top, as do the
+  // multi-pass library sorts.
+  t.total = t.launch + std::max({t.compute, t.gmem, t.smem}) + t.atomics + t.sort;
+  return t;
+}
+
+}  // namespace gbmo::sim

@@ -1,0 +1,102 @@
+// Simulated GPU device: a hardware description (DeviceSpec), cumulative
+// event counters, modeled-time accounting bucketed by training phase, and
+// memory-capacity accounting used to reproduce the paper's out-of-memory
+// behaviour (Figure 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sim/counters.h"
+
+namespace gbmo::sim {
+
+// Static description of a device. Bandwidth/throughput figures are
+// first-order public-spec numbers; the cost model only relies on their
+// ratios, so modest inaccuracies shift absolute modeled seconds without
+// changing which strategy wins.
+struct DeviceSpec {
+  std::string name;
+  int sm_count = 128;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  std::size_t shared_mem_per_block = 48 * 1024;
+  std::size_t memory_bytes = 24ull << 30;      // device memory capacity
+  double mem_bandwidth = 1.008e12;             // global memory, bytes/s
+  double smem_bandwidth = 20e12;               // aggregate shared memory, bytes/s
+  double flops = 40e12;                        // sustained fp32 flop/s
+  double atomic_throughput = 8e9;              // conflict-free atomics/s
+  double atomic_serialization_s = 4e-9;        // extra latency per collision
+  double kernel_launch_s = 4e-6;               // per kernel launch
+  double pcie_bandwidth = 24e9;                // host<->device, bytes/s
+  // Fully divergent gathers are transaction-limited, not bandwidth-limited:
+  // one scattered 32B transaction per access, serviced at this rate.
+  double random_access_throughput = 6e9;
+  // Radix sort_by_key pairs/s (library sorts are compute/launch bound).
+  double sort_throughput = 2e9;
+
+  static DeviceSpec rtx4090();
+  static DeviceSpec rtx3090();
+  // A server-class CPU description used to model the paper's CPU baselines
+  // (GBDT-MO's reference implementation is lightly parallel; effective
+  // throughput is far below peak because of scattered access patterns).
+  static DeviceSpec cpu_server();
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, int id = 0) : spec_(std::move(spec)), id_(id) {}
+
+  const DeviceSpec& spec() const { return spec_; }
+  int id() const { return id_; }
+
+  // --- modeled-time accounting -------------------------------------------
+  // All kernels/primitives executed "on" this device add modeled seconds
+  // under the currently active phase label.
+  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  const std::string& phase() const { return phase_; }
+  void add_modeled_time(double seconds);
+  double modeled_seconds() const { return modeled_seconds_; }
+  const std::map<std::string, double>& phase_seconds() const { return phase_seconds_; }
+  void reset_time();
+
+  // --- cumulative event counters -----------------------------------------
+  void add_stats(const KernelStats& s) { total_stats_ += s; }
+  const KernelStats& total_stats() const { return total_stats_; }
+
+  // --- memory accounting ---------------------------------------------------
+  // DeviceBuffer reports allocations; exceeding the spec's capacity throws
+  // sim::OutOfDeviceMemory from the allocation site (see buffer.h).
+  void note_alloc(std::size_t bytes);
+  void note_free(std::size_t bytes);
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t peak_allocated_bytes() const { return peak_allocated_; }
+  bool fits(std::size_t additional_bytes) const {
+    return allocated_ + additional_bytes <= spec_.memory_bytes;
+  }
+
+ private:
+  DeviceSpec spec_;
+  int id_;
+  std::string phase_ = "unattributed";
+  double modeled_seconds_ = 0.0;
+  std::map<std::string, double> phase_seconds_;
+  KernelStats total_stats_;
+  std::size_t allocated_ = 0;
+  std::size_t peak_allocated_ = 0;
+};
+
+// Thrown when a simulated allocation exceeds device memory; the bench
+// harness catches it to reproduce the paper's "OOM at large depth" cells.
+class OutOfDeviceMemory : public std::runtime_error {
+ public:
+  OutOfDeviceMemory(std::size_t requested, std::size_t allocated, std::size_t capacity);
+  std::size_t requested;
+  std::size_t allocated;
+  std::size_t capacity;
+};
+
+}  // namespace gbmo::sim

@@ -1,0 +1,84 @@
+// Warp-cooperative primitives (shuffles, ballots, lane reductions).
+//
+// A WarpCtx models one warp of `lanes` active lanes. Lane-parallel values are
+// expressed as a callable `lane -> value`, mirroring how per-lane registers
+// hold the values on hardware. The helpers charge the shuffle/arithmetic cost
+// of the log2(warp) butterfly implementations they stand in for.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/counters.h"
+
+namespace gbmo::sim {
+
+class WarpCtx {
+ public:
+  WarpCtx(int warp_id, int lanes, int warp_size, KernelStats& stats)
+      : warp_id_(warp_id), lanes_(lanes), warp_size_(warp_size), stats_(stats) {}
+
+  int warp_id() const { return warp_id_; }
+  int lanes() const { return lanes_; }
+  int warp_size() const { return warp_size_; }
+  KernelStats& stats() { return stats_; }
+
+  // Runs body(lane) for each active lane.
+  template <typename F>
+  void lanes_for(F&& body) const {
+    for (int lane = 0; lane < lanes_; ++lane) body(lane);
+  }
+
+  // Butterfly sum over lane values (equivalent to 5 shfl_down + adds).
+  template <typename F>
+  auto reduce_sum(F&& lane_value) -> decltype(lane_value(0)) {
+    using V = decltype(lane_value(0));
+    V acc{};
+    for (int lane = 0; lane < lanes_; ++lane) acc += lane_value(lane);
+    stats_.flops += static_cast<std::uint64_t>(lanes_);
+    return acc;
+  }
+
+  // Butterfly max; returns the max value.
+  template <typename F>
+  auto reduce_max(F&& lane_value) -> decltype(lane_value(0)) {
+    auto best = lane_value(0);
+    for (int lane = 1; lane < lanes_; ++lane) {
+      auto v = lane_value(lane);
+      if (best < v) best = v;
+    }
+    stats_.flops += static_cast<std::uint64_t>(lanes_);
+    return best;
+  }
+
+  // __ballot_sync: bit i set iff pred(lane i) is true.
+  template <typename F>
+  std::uint32_t ballot(F&& pred) {
+    std::uint32_t mask = 0;
+    for (int lane = 0; lane < lanes_; ++lane) {
+      if (pred(lane)) mask |= (1u << lane);
+    }
+    stats_.flops += static_cast<std::uint64_t>(lanes_);
+    return mask;
+  }
+
+  // Exclusive prefix sum across lanes (Hillis–Steele cost).
+  template <typename F, typename Out>
+  void exclusive_scan(F&& lane_value, Out&& out) {
+    using V = decltype(lane_value(0));
+    V running{};
+    for (int lane = 0; lane < lanes_; ++lane) {
+      out(lane, running);
+      running += lane_value(lane);
+    }
+    stats_.flops += static_cast<std::uint64_t>(lanes_) * 5;
+  }
+
+ private:
+  int warp_id_;
+  int lanes_;
+  int warp_size_;
+  KernelStats& stats_;
+};
+
+}  // namespace gbmo::sim

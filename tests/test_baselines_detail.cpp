@@ -1,0 +1,155 @@
+// Baseline-specific behavior: oblivious trees really are symmetric,
+// SketchBoost leaves carry full-dimensional values, the SO ensembles
+// predict consistently, and the lightgbm variant respects its leaf cap.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/oblivious.h"
+#include "baselines/sketchboost.h"
+#include "baselines/so_booster.h"
+#include "data/synthetic.h"
+
+namespace gbmo::baselines {
+namespace {
+
+data::Dataset make_data(int classes = 6, std::uint64_t seed = 3) {
+  data::MulticlassSpec spec;
+  spec.n_instances = 400;
+  spec.n_features = 10;
+  spec.n_classes = classes;
+  spec.cluster_sep = 1.8;
+  spec.seed = seed;
+  return data::make_multiclass(spec);
+}
+
+core::TrainConfig quick_cfg() {
+  core::TrainConfig cfg;
+  cfg.n_trees = 5;
+  cfg.max_depth = 4;
+  cfg.learning_rate = 0.5f;
+  cfg.min_instances_per_node = 8;
+  cfg.max_bins = 32;
+  return cfg;
+}
+
+TEST(ObliviousTest, TreesAreSymmetric) {
+  const auto d = make_data();
+  ObliviousBooster cat(quick_cfg(), sim::DeviceSpec::rtx4090(),
+                       sim::LinkSpec::pcie4());
+  cat.fit(d);
+  ASSERT_FALSE(cat.trees().empty());
+  for (const auto& tree : cat.trees()) {
+    // Every internal node at the same depth must use the same (feature, bin).
+    std::vector<std::set<std::pair<int, int>>> per_depth(16);
+    std::vector<std::pair<std::int32_t, int>> stack = {{0, 0}};
+    while (!stack.empty()) {
+      const auto [id, depth] = stack.back();
+      stack.pop_back();
+      const auto& node = tree.node(static_cast<std::size_t>(id));
+      if (node.is_leaf()) continue;
+      per_depth[static_cast<std::size_t>(depth)].insert(
+          {node.feature, node.split_bin});
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+    for (const auto& splits : per_depth) {
+      EXPECT_LE(splits.size(), 1u) << "oblivious level must share one split";
+    }
+  }
+}
+
+TEST(SketchBoostTest, LeavesCarryFullOutputDimension) {
+  const auto d = make_data(24);  // d > top_k
+  SketchBoostSystem sk(quick_cfg(), sim::DeviceSpec::rtx4090(),
+                       sim::LinkSpec::pcie4(), /*top_k=*/5);
+  sk.fit(d);
+  EXPECT_EQ(sk.top_k(), 5);
+  ASSERT_FALSE(sk.trees().empty());
+  for (const auto& tree : sk.trees()) {
+    EXPECT_EQ(tree.n_outputs(), 24);
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      if (tree.node(i).is_leaf()) {
+        EXPECT_EQ(tree.leaf_values(tree.node(i)).size(), 24u);
+      }
+    }
+  }
+  // The sketched model must still learn something.
+  EXPECT_GT(sk.evaluate(d).value, 50.0);
+}
+
+TEST(SketchBoostTest, FullSketchMatchesOurs) {
+  // With top_k >= d the sketch is the identity: sk-boost reduces to the
+  // plain multi-output booster up to its framework overhead.
+  const auto d = make_data(4, 8);
+  auto cfg = quick_cfg();
+  SketchBoostSystem sk(cfg, sim::DeviceSpec::rtx4090(), sim::LinkSpec::pcie4(),
+                       /*top_k=*/10);
+  sk.fit(d);
+  auto ours = make_system("ours", cfg);
+  ours->fit(d);
+  EXPECT_NEAR(sk.evaluate(d).value, ours->evaluate(d).value, 3.0);
+}
+
+TEST(SoBoosterTest, EnsemblePerClassAndRoundStructure) {
+  const auto d = make_data(5);
+  SoBooster xgb(quick_cfg(), SoVariant::kXgbLike, sim::DeviceSpec::rtx4090(),
+                sim::LinkSpec::pcie4());
+  xgb.fit(d);
+  ASSERT_EQ(xgb.ensembles().size(), 5u);
+  for (const auto& ensemble : xgb.ensembles()) {
+    EXPECT_EQ(ensemble.size(), 5u);  // one tree per round
+    for (const auto& tree : ensemble) EXPECT_EQ(tree.n_outputs(), 1);
+  }
+}
+
+TEST(SoBoosterTest, LightgbmRespectsLeafCap) {
+  data::MulticlassSpec spec;
+  spec.n_instances = 3000;  // enough rows that an uncapped tree would exceed 31
+  spec.n_features = 10;
+  spec.n_classes = 3;
+  spec.seed = 5;
+  const auto d = data::make_multiclass(spec);
+  auto cfg = quick_cfg();
+  cfg.max_depth = 7;
+  cfg.min_instances_per_node = 5;
+  SoBooster lgb(cfg, SoVariant::kLgbLike, sim::DeviceSpec::rtx4090(),
+                sim::LinkSpec::pcie4());
+  lgb.fit(d);
+  std::size_t max_leaves = 0;
+  for (const auto& ensemble : lgb.ensembles()) {
+    for (const auto& tree : ensemble) {
+      max_leaves = std::max(max_leaves, tree.n_leaves());
+    }
+  }
+  EXPECT_LE(max_leaves, 31u);   // LightGBM default num_leaves
+  EXPECT_GE(max_leaves, 16u);   // but it should actually grow
+}
+
+TEST(SoBoosterTest, LeafwiseGrowsHighestGainFirst) {
+  // With a 3-leaf budget, the leaf-wise tree must reach a strictly better
+  // training objective than any 3-leaf level-wise tree could do worse than —
+  // sanity-check that it at least trains and predicts.
+  const auto d = make_data(3, 9);
+  auto cfg = quick_cfg();
+  cfg.max_depth = 1;  // level-wise: 2 leaves; leaf-wise capped at min(31, 2)
+  SoBooster lgb(cfg, SoVariant::kLgbLike, sim::DeviceSpec::rtx4090(),
+                sim::LinkSpec::pcie4());
+  lgb.fit(d);
+  for (const auto& ensemble : lgb.ensembles()) {
+    for (const auto& tree : ensemble) EXPECT_LE(tree.n_leaves(), 2u);
+  }
+}
+
+TEST(CpuBaselineTest, SparseAndDenseAgreeOnTheModel) {
+  const auto d = make_data(4, 21);
+  auto fu = make_system("mo-fu", quick_cfg());
+  auto sp = make_system("mo-sp", quick_cfg());
+  fu->fit(d);
+  sp->fit(d);
+  // Identical math, identical trees: predictions match exactly.
+  EXPECT_EQ(fu->predict(d.x), sp->predict(d.x));
+}
+
+}  // namespace
+}  // namespace gbmo::baselines

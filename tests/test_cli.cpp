@@ -1,0 +1,132 @@
+// End-to-end CLI flows through gbmo::cli::run — the same code path the gbmo
+// binary executes, driven with temp files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli.h"
+
+namespace gbmo::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::initializer_list<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(std::vector<std::string>(args), out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string tmp_path(const char* name) {
+  return std::string("/tmp/gbmo_cli_test_") + name;
+}
+
+class CliFlow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto gen = run_cli({"generate", "--task", "multiclass", "--n", "400",
+                              "--m", "8", "--d", "3", "--seed", "9", "--out",
+                              tmp_path("data.csv")});
+    ASSERT_EQ(gen.code, 0) << gen.err;
+  }
+};
+
+TEST_F(CliFlow, TrainEvaluatePredictInfoImportance) {
+  const auto train = run_cli({"train", "--data", tmp_path("data.csv"),
+                              "--features", "8", "--model", tmp_path("m.model"),
+                              "--trees", "10", "--depth", "4", "--lr", "0.5",
+                              "--bins", "32"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("model saved"), std::string::npos);
+  EXPECT_NE(train.out.find("histogram fraction"), std::string::npos);
+
+  const auto eval = run_cli({"evaluate", "--model", tmp_path("m.model"),
+                             "--data", tmp_path("data.csv"), "--features", "8"});
+  ASSERT_EQ(eval.code, 0) << eval.err;
+  EXPECT_NE(eval.out.find("accuracy%"), std::string::npos);
+
+  const auto predict = run_cli({"predict", "--model", tmp_path("m.model"),
+                                "--data", tmp_path("data.csv"), "--features",
+                                "8", "--out", tmp_path("scores.csv")});
+  ASSERT_EQ(predict.code, 0) << predict.err;
+  std::ifstream scores(tmp_path("scores.csv"));
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(scores, line)) {
+    ++lines;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2);  // 3 outputs
+  }
+  EXPECT_EQ(lines, 400u);
+
+  const auto info = run_cli({"info", "--model", tmp_path("m.model")});
+  ASSERT_EQ(info.code, 0) << info.err;
+  EXPECT_NE(info.out.find("trees:       10"), std::string::npos);
+  EXPECT_EQ(info.out.find("max depth:   0"), std::string::npos);
+
+  const auto imp = run_cli({"importance", "--model", tmp_path("m.model"),
+                            "--top", "3"});
+  ASSERT_EQ(imp.code, 0) << imp.err;
+  EXPECT_NE(imp.out.find("feature "), std::string::npos);
+}
+
+TEST_F(CliFlow, TrainWithValidationAndEarlyStop) {
+  const auto gen = run_cli({"generate", "--task", "multiclass", "--n", "150",
+                            "--m", "8", "--d", "3", "--seed", "10", "--out",
+                            tmp_path("valid.csv")});
+  ASSERT_EQ(gen.code, 0);
+  const auto train = run_cli(
+      {"train", "--data", tmp_path("data.csv"), "--features", "8", "--model",
+       tmp_path("es.model"), "--trees", "50", "--lr", "0.8", "--bins", "32",
+       "--valid", tmp_path("valid.csv"), "--early-stop", "3"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("valid accuracy%"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownCommandAndMissingOptions) {
+  const auto bad = run_cli({"frobnicate"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+
+  const auto missing = run_cli({"train", "--features", "8"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("--data"), std::string::npos);
+
+  const auto unknown_opt = run_cli({"info", "--model", "/nonexistent",
+                                    "--bogus", "1"});
+  EXPECT_EQ(unknown_opt.code, 1);
+
+  const auto help = run_cli({"--help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage"), std::string::npos);
+}
+
+TEST(CliBench, RunsNamedReplica) {
+  const auto bench = run_cli({"bench", "--dataset", "RF1", "--system", "ours",
+                              "--trees", "3", "--bins", "32"});
+  ASSERT_EQ(bench.code, 0) << bench.err;
+  EXPECT_NE(bench.out.find("modeled device time"), std::string::npos);
+  EXPECT_NE(bench.out.find("test rmse"), std::string::npos);
+}
+
+TEST(CliGenerate, LibsvmFormatRoundTrips) {
+  const auto gen = run_cli({"generate", "--task", "multiregress", "--n", "100",
+                            "--m", "6", "--d", "2", "--sparsity", "0.5",
+                            "--format", "libsvm", "--out", tmp_path("r.svm")});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  const auto train = run_cli({"train", "--data", tmp_path("r.svm"), "--format",
+                              "libsvm", "--task", "multiregress", "--outputs",
+                              "2", "--features", "6", "--model",
+                              tmp_path("r.model"), "--trees", "5", "--bins",
+                              "16"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("train rmse"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gbmo::cli

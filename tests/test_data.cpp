@@ -1,0 +1,127 @@
+// Dense matrix, labels, CSC storage (including the paper's §3.2 worked
+// example verbatim) and train/test splitting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csc.h"
+#include "data/io.h"
+#include "data/matrix.h"
+
+namespace gbmo::data {
+namespace {
+
+TEST(DenseMatrixTest, BasicAccess) {
+  DenseMatrix m(3, 2);
+  m.at(0, 0) = 1.0f;
+  m.at(2, 1) = 5.0f;
+  EXPECT_FLOAT_EQ(m.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 5.0f);
+  EXPECT_FLOAT_EQ(m.row(2)[1], 5.0f);
+  const auto col1 = m.col(1);
+  EXPECT_FLOAT_EQ(col1[2], 5.0f);
+  EXPECT_NEAR(m.zero_fraction(), 4.0 / 6.0, 1e-9);
+}
+
+TEST(LabelsTest, DenseTargetViews) {
+  const auto mc = Labels::multiclass({0, 2, 1}, 3);
+  EXPECT_FLOAT_EQ(mc.target(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mc.target(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(mc.target(1, 2), 1.0f);
+
+  const auto ml = Labels::multilabel({1, 0, 0, 1}, 2, 2);
+  EXPECT_FLOAT_EQ(ml.target(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ml.target(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(ml.target(1, 1), 1.0f);
+
+  const auto mr = Labels::multiregression({0.5f, -1.0f}, 1, 2);
+  EXPECT_FLOAT_EQ(mr.target(0, 1), -1.0f);
+}
+
+TEST(LabelsTest, SubsetPreservesTargets) {
+  const auto mc = Labels::multiclass({0, 2, 1, 2}, 3);
+  const std::vector<std::uint32_t> rows = {3, 1};
+  const auto sub = mc.subset(rows);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.class_id(0), 2);
+  EXPECT_EQ(sub.class_id(1), 2);
+}
+
+TEST(LabelsTest, RejectsOutOfRangeClassIds) {
+  EXPECT_THROW(Labels::multiclass({0, 5}, 3), Error);
+}
+
+// The exact worked example from §3.2 of the paper.
+TEST(CscTest, PaperWorkedExample) {
+  DenseMatrix x(5, 5);
+  x.at(0, 2) = 3;
+  x.at(1, 0) = 2;
+  x.at(1, 4) = 7;
+  x.at(2, 1) = 6;
+  x.at(4, 0) = 1;
+  x.at(4, 4) = 8;
+
+  const auto csc = CscMatrix::from_dense(x);
+  EXPECT_EQ(std::vector<float>(csc.values().begin(), csc.values().end()),
+            (std::vector<float>{2, 1, 6, 3, 7, 8}));
+  EXPECT_EQ(std::vector<std::uint32_t>(csc.row_indices().begin(),
+                                       csc.row_indices().end()),
+            (std::vector<std::uint32_t>{1, 4, 2, 0, 1, 4}));
+  EXPECT_EQ(std::vector<std::uint32_t>(csc.col_pointers().begin(),
+                                       csc.col_pointers().end()),
+            (std::vector<std::uint32_t>{0, 2, 3, 4, 4, 6}));
+  EXPECT_EQ(csc.nnz(), 6u);
+}
+
+TEST(CscTest, RoundTripAndRandomAccess) {
+  DenseMatrix x(4, 3);
+  x.at(0, 0) = 1.5f;
+  x.at(3, 2) = -2.0f;
+  x.at(2, 1) = 4.0f;
+  const auto csc = CscMatrix::from_dense(x);
+  const auto back = csc.to_dense();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_FLOAT_EQ(back.at(r, c), x.at(r, c));
+      EXPECT_FLOAT_EQ(csc.at(r, c), x.at(r, c));
+    }
+  }
+}
+
+TEST(CscTest, ValidatesArrays) {
+  // Decreasing row indices within a column must be rejected.
+  EXPECT_THROW(CscMatrix(3, 1, {1.0f, 2.0f}, {2, 1}, {0, 2}), Error);
+  // Column pointer past the end must be rejected.
+  EXPECT_THROW(CscMatrix(3, 1, {1.0f}, {0}, {0, 2}), Error);
+}
+
+TEST(SplitDatasetTest, PartitionsAllInstances) {
+  Dataset d;
+  d.x = DenseMatrix(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) d.x.at(i, 0) = static_cast<float>(i);
+  std::vector<std::int32_t> ids(100);
+  for (std::size_t i = 0; i < 100; ++i) ids[i] = static_cast<std::int32_t>(i % 4);
+  d.y = Labels::multiclass(std::move(ids), 4);
+
+  const auto split = split_dataset(d, 0.25, 3);
+  EXPECT_EQ(split.train.n_instances() + split.test.n_instances(), 100u);
+  EXPECT_GT(split.test.n_instances(), 10u);
+  EXPECT_LT(split.test.n_instances(), 45u);
+  // Feature values identify the original instances: no duplicates across
+  // the two sides.
+  std::vector<bool> seen(100, false);
+  auto mark = [&](const Dataset& part) {
+    for (std::size_t i = 0; i < part.n_instances(); ++i) {
+      const auto orig = static_cast<std::size_t>(part.x.at(i, 0));
+      EXPECT_FALSE(seen[orig]);
+      seen[orig] = true;
+      EXPECT_EQ(part.y.class_id(i), static_cast<std::int32_t>(orig % 4));
+    }
+  };
+  mark(split.train);
+  mark(split.test);
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace gbmo::data

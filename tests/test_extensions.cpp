@@ -1,0 +1,186 @@
+// Extension features beyond the paper's evaluation setup: stochastic row /
+// column sampling, early stopping against a validation set, feature
+// importance, and the Huber loss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "core/booster.h"
+#include "core/importance.h"
+#include "data/synthetic.h"
+
+namespace gbmo::core {
+namespace {
+
+data::Dataset regression_data(std::uint64_t seed = 2) {
+  data::MultiregressionSpec spec;
+  spec.n_instances = 600;
+  spec.n_features = 12;
+  spec.n_outputs = 4;
+  spec.seed = seed;
+  return data::make_multiregression(spec);
+}
+
+TrainConfig base_cfg() {
+  TrainConfig cfg;
+  cfg.n_trees = 12;
+  cfg.max_depth = 4;
+  cfg.learning_rate = 0.4f;
+  cfg.min_instances_per_node = 8;
+  cfg.max_bins = 32;
+  return cfg;
+}
+
+TEST(SubsampleTest, TrainsAndStillLearns) {
+  const auto d = regression_data();
+  auto cfg = base_cfg();
+  cfg.subsample = 0.6;
+  GbmoBooster booster(cfg);
+  const auto model = booster.fit(d);
+  EXPECT_EQ(model.trees.size(), 12u);
+
+  const auto scores = model.predict(d.x);
+  std::vector<float> zeros(scores.size(), 0.0f);
+  EXPECT_LT(rmse(scores, d.y), 0.6 * rmse(zeros, d.y));
+}
+
+TEST(SubsampleTest, DifferentFromFullSampleButClose) {
+  const auto d = regression_data(5);
+  auto full_cfg = base_cfg();
+  GbmoBooster full(full_cfg);
+  const auto m_full = full.fit(d);
+
+  auto sub_cfg = base_cfg();
+  sub_cfg.subsample = 0.7;
+  GbmoBooster sub(sub_cfg);
+  const auto m_sub = sub.fit(d);
+
+  // The sampled model must differ (different trees) but reach comparable
+  // training quality.
+  EXPECT_NE(m_full.predict(d.x), m_sub.predict(d.x));
+  EXPECT_LT(rmse(m_sub.predict(d.x), d.y), rmse(m_full.predict(d.x), d.y) * 2.0);
+}
+
+TEST(ColsampleTest, TreesUseOnlySampledFeatures) {
+  const auto d = regression_data(7);
+  auto cfg = base_cfg();
+  cfg.colsample_bytree = 0.4;
+  GbmoBooster booster(cfg);
+  const auto model = booster.fit(d);
+
+  // With 40% columns per tree, the union of per-tree feature sets across 12
+  // trees should cover more features than any single tree uses.
+  std::size_t max_single_tree = 0;
+  std::set<std::int32_t> union_features;
+  for (const auto& tree : model.trees) {
+    std::set<std::int32_t> tree_features;
+    for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
+      if (!tree.node(i).is_leaf()) {
+        tree_features.insert(tree.node(i).feature);
+        union_features.insert(tree.node(i).feature);
+      }
+    }
+    max_single_tree = std::max(max_single_tree, tree_features.size());
+  }
+  EXPECT_LE(max_single_tree, 8u);  // ~40% of 12 features, slack for sampling
+  EXPECT_GT(union_features.size(), max_single_tree);
+}
+
+TEST(EarlyStoppingTest, StopsWhenValidationStalls) {
+  // Validation set from a different seed: the model overfits quickly, so
+  // validation stalls long before 60 trees.
+  const auto train = regression_data(11);
+  const auto valid = regression_data(12);
+
+  auto cfg = base_cfg();
+  cfg.n_trees = 60;
+  cfg.learning_rate = 0.8f;
+  cfg.early_stopping_rounds = 3;
+  GbmoBooster booster(cfg);
+  const auto model = booster.fit(train, nullptr, &valid);
+
+  EXPECT_TRUE(booster.report().early_stopped);
+  EXPECT_LT(model.trees.size(), 60u);
+  EXPECT_EQ(booster.report().valid_metric_per_tree.size(),
+            static_cast<std::size_t>(booster.report().trees_trained) +
+                (booster.report().early_stopped ? cfg.early_stopping_rounds : 0));
+}
+
+TEST(EarlyStoppingTest, MonitoringWithoutStoppingRecordsTrace) {
+  const auto split = data::split_dataset(regression_data(13), 0.25);
+  auto cfg = base_cfg();
+  cfg.n_trees = 8;
+  GbmoBooster booster(cfg);
+  booster.fit(split.train, nullptr, &split.test);
+  EXPECT_FALSE(booster.report().early_stopped);
+  EXPECT_EQ(booster.report().valid_metric_per_tree.size(), 8u);
+  // Validation RMSE should improve over the run's start.
+  const auto& trace = booster.report().valid_metric_per_tree;
+  EXPECT_LT(trace.back(), trace.front());
+}
+
+TEST(ImportanceTest, InformativeFeaturesScoreHigher) {
+  // Build data where feature 0 fully determines the target.
+  data::DenseMatrix x(400, 5);
+  gbmo::Rng rng(3);
+  std::vector<float> targets(400 * 2);
+  for (std::size_t i = 0; i < 400; ++i) {
+    for (std::size_t f = 0; f < 5; ++f) x.at(i, f) = rng.normal_f();
+    targets[i * 2] = x.at(i, 0) > 0 ? 2.0f : -2.0f;
+    targets[i * 2 + 1] = x.at(i, 0);
+  }
+  data::Dataset d;
+  d.x = std::move(x);
+  d.y = data::Labels::multiregression(std::move(targets), 400, 2);
+
+  GbmoBooster booster(base_cfg());
+  const auto model = booster.fit(d);
+
+  const auto gain = feature_importance(model.trees, 5, ImportanceKind::kGain);
+  const auto count = feature_importance(model.trees, 5, ImportanceKind::kSplitCount);
+  for (std::size_t f = 1; f < 5; ++f) {
+    EXPECT_GT(gain[0], gain[f]) << "feature 0 carries all signal";
+  }
+  EXPECT_GT(count[0], 0.0);
+  EXPECT_EQ(top_features(model.trees, 5, 1)[0], 0u);
+}
+
+TEST(HuberLossTest, GradientsAndRobustness) {
+  const auto y = data::Labels::multiregression({0.0f, 0.0f}, 1, 2);
+  HuberLoss loss(1.0f);
+  std::vector<float> g(2), h(2);
+  // Inside the quadratic zone: behaves like MSE.
+  std::vector<float> scores = {0.5f, -0.3f};
+  loss.instance_gradients(scores, y, 0, g, h);
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FLOAT_EQ(h[0], 2.0f);
+  // Outside: gradient magnitude capped at 2*delta.
+  scores = {10.0f, -10.0f};
+  loss.instance_gradients(scores, y, 0, g, h);
+  EXPECT_FLOAT_EQ(g[0], 2.0f);
+  EXPECT_FLOAT_EQ(g[1], -2.0f);
+
+  // Training with Huber under injected outliers beats MSE on the clean part.
+  auto d = regression_data(21);
+  auto corrupted = d;
+  gbmo::Rng rng(9);
+  for (int j = 0; j < 30; ++j) {
+    const auto i = rng.next_below(corrupted.n_instances());
+    auto* t = const_cast<float*>(corrupted.y.targets().data());
+    t[i * 4] += 80.0f;  // gross outlier in output 0
+  }
+  auto cfg = base_cfg();
+  cfg.n_trees = 20;
+  HuberLoss huber(1.0f);
+  GbmoBooster hb(cfg);
+  const auto hm = hb.fit(corrupted, &huber);
+  GbmoBooster mb(cfg);
+  const auto mm = mb.fit(corrupted);  // default MSE
+  // Evaluate both against the clean targets.
+  EXPECT_LT(rmse(hm.predict(d.x), d.y), rmse(mm.predict(d.x), d.y));
+}
+
+}  // namespace
+}  // namespace gbmo::core

@@ -1,0 +1,204 @@
+// Histogram builder equivalence: every strategy (global, shared,
+// sort-reduce, adaptive) with and without bin packing, sparsity-awareness
+// and CSC indirection must produce the same histogram as a scalar reference
+// — swept over output dimensions and sparsity levels.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/histogram.h"
+#include "data/synthetic.h"
+
+namespace gbmo::core {
+namespace {
+
+struct Fixture {
+  data::Dataset dataset;
+  data::BinCuts cuts;
+  data::BinnedMatrix binned;
+  HistogramLayout layout;
+  std::vector<float> g, h;
+  std::vector<std::uint32_t> rows;       // a "node": odd-indexed instances
+  std::vector<std::uint32_t> features;
+  std::vector<sim::GradPair> totals;
+
+  Fixture(int d, double sparsity, std::uint64_t seed) {
+    data::MultiregressionSpec spec;
+    spec.n_instances = 500;
+    spec.n_features = 9;
+    spec.n_outputs = d;
+    spec.sparsity = sparsity;
+    spec.seed = seed;
+    dataset = data::make_multiregression(spec);
+    cuts = data::BinCuts::build(dataset.x, 32);
+    binned = data::BinnedMatrix(dataset.x, cuts);
+    binned.pack();
+    layout = HistogramLayout(cuts, d);
+
+    Rng rng(seed ^ 0xabcdef);
+    g.resize(dataset.n_instances() * static_cast<std::size_t>(d));
+    h.resize(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] = rng.uniform(-1.0f, 1.0f);
+      h[i] = rng.uniform(0.1f, 1.0f);
+    }
+    for (std::uint32_t r = 1; r < dataset.n_instances(); r += 2) rows.push_back(r);
+    features.resize(dataset.n_features());
+    std::iota(features.begin(), features.end(), 0u);
+
+    totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
+    for (std::uint32_t r : rows) {
+      for (int k = 0; k < d; ++k) {
+        totals[static_cast<std::size_t>(k)].g +=
+            g[static_cast<std::size_t>(r) * d + static_cast<std::size_t>(k)];
+        totals[static_cast<std::size_t>(k)].h +=
+            h[static_cast<std::size_t>(r) * d + static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  // Scalar reference: accumulate everything directly.
+  NodeHistogram reference() const {
+    NodeHistogram ref;
+    ref.resize(layout);
+    const int d = layout.n_outputs();
+    for (std::uint32_t r : rows) {
+      for (std::uint32_t f : features) {
+        const auto bin = binned.bin(r, f);
+        for (int k = 0; k < d; ++k) {
+          auto& slot = ref.sums[layout.slot(f, bin, k)];
+          slot.g += g[static_cast<std::size_t>(r) * d + static_cast<std::size_t>(k)];
+          slot.h += h[static_cast<std::size_t>(r) * d + static_cast<std::size_t>(k)];
+        }
+        ++ref.counts[layout.bin_index(f, bin)];
+      }
+    }
+    return ref;
+  }
+
+  HistBuildInput input(bool packed, bool sparsity_aware, bool csc) const {
+    HistBuildInput in;
+    in.bins = &binned;
+    in.node_rows = rows;
+    in.g = g;
+    in.h = h;
+    in.layout = &layout;
+    in.features = features;
+    in.packed = packed;
+    in.sparsity_aware = sparsity_aware;
+    in.csc_indirection = csc;
+    in.node_totals = totals;
+    in.node_count = static_cast<std::uint32_t>(rows.size());
+    return in;
+  }
+};
+
+void expect_equal(const HistogramLayout& layout, const NodeHistogram& actual,
+                  const NodeHistogram& expected, const char* what) {
+  const int d = layout.n_outputs();
+  for (std::size_t f = 0; f < layout.n_features(); ++f) {
+    for (int b = 0; b < layout.n_bins(f); ++b) {
+      EXPECT_EQ(actual.counts[layout.bin_index(f, b)],
+                expected.counts[layout.bin_index(f, b)])
+          << what << " count f=" << f << " b=" << b;
+      for (int k = 0; k < d; ++k) {
+        const auto& a = actual.sums[layout.slot(f, b, k)];
+        const auto& e = expected.sums[layout.slot(f, b, k)];
+        EXPECT_NEAR(a.g, e.g, 1e-3f) << what << " f=" << f << " b=" << b << " k=" << k;
+        EXPECT_NEAR(a.h, e.h, 1e-3f) << what << " f=" << f << " b=" << b << " k=" << k;
+      }
+    }
+  }
+}
+
+struct Case {
+  HistMethod method;
+  bool packed;
+  bool sparsity_aware;
+  bool csc;
+};
+
+class BuilderEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BuilderEquivalence, AllStrategiesMatchScalarReference) {
+  const auto [d, sparsity] = GetParam();
+  Fixture fx(d, sparsity, 42 + static_cast<std::uint64_t>(d));
+  const auto expected = fx.reference();
+
+  const Case cases[] = {
+      {HistMethod::kGlobal, false, false, false},
+      {HistMethod::kGlobal, true, true, false},
+      {HistMethod::kGlobal, false, true, true},
+      {HistMethod::kShared, false, false, false},
+      {HistMethod::kShared, true, true, false},
+      {HistMethod::kSortReduce, false, false, false},
+      {HistMethod::kSortReduce, false, true, false},
+      {HistMethod::kAuto, true, true, false},
+  };
+  for (const auto& c : cases) {
+    auto builder = make_builder(c.method);
+    sim::Device dev(sim::DeviceSpec::rtx4090());
+    NodeHistogram hist;
+    hist.resize(fx.layout);
+    builder->build(dev, fx.input(c.packed, c.sparsity_aware, c.csc), hist);
+    expect_equal(fx.layout, hist, expected, builder->name());
+    EXPECT_GT(dev.modeled_seconds(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BuilderEquivalence,
+                         ::testing::Combine(::testing::Values(1, 3, 16),
+                                            ::testing::Values(0.0, 0.6, 0.95)));
+
+TEST(HistogramLayoutTest, SlotArithmetic) {
+  data::DenseMatrix x(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x.at(i, 0) = static_cast<float>(i);
+    x.at(i, 1) = static_cast<float>(i % 3);
+  }
+  const auto cuts = data::BinCuts::build(x, 256);
+  const HistogramLayout layout(cuts, 4);
+  EXPECT_EQ(layout.n_features(), 2u);
+  EXPECT_EQ(layout.n_bins(0), 10);
+  EXPECT_EQ(layout.n_bins(1), 3);
+  EXPECT_EQ(layout.total_bins(), 13u);
+  EXPECT_EQ(layout.size(), 13u * 4u);
+  EXPECT_EQ(layout.slot(0, 0, 0), 0u);
+  EXPECT_EQ(layout.slot(0, 1, 0), 4u);
+  EXPECT_EQ(layout.slot(1, 0, 2), 10u * 4u + 2u);
+  // zero bin of feature 0: value 0.0 is the smallest -> bin 0.
+  EXPECT_EQ(layout.zero_bin(0), 0);
+}
+
+TEST(SubtractHistogramsTest, ParentMinusChildIsSibling) {
+  Fixture fx(4, 0.4, 77);
+  // Split the node's rows into two parts; parent covers all of them.
+  std::vector<std::uint32_t> left_rows, right_rows;
+  for (std::size_t i = 0; i < fx.rows.size(); ++i) {
+    (i % 3 == 0 ? left_rows : right_rows).push_back(fx.rows[i]);
+  }
+  auto build_for = [&](std::span<const std::uint32_t> rows) {
+    NodeHistogram hist;
+    hist.resize(fx.layout);
+    auto in = fx.input(false, false, false);
+    in.node_rows = rows;
+    in.node_count = static_cast<std::uint32_t>(rows.size());
+    sim::Device dev(sim::DeviceSpec::rtx4090());
+    make_global_builder()->build(dev, in, hist);
+    return hist;
+  };
+  const auto parent = build_for(fx.rows);
+  const auto left = build_for(left_rows);
+  const auto expected_right = build_for(right_rows);
+
+  NodeHistogram derived;
+  derived.resize(fx.layout);
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+  subtract_histograms(dev, fx.layout, fx.features, parent, left, derived);
+  expect_equal(fx.layout, derived, expected_right, "subtraction");
+}
+
+}  // namespace
+}  // namespace gbmo::core

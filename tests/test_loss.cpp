@@ -1,0 +1,116 @@
+// Loss functions: analytic gradients vs central finite differences
+// (property-checked across tasks), loss values, and numerical stability.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/loss.h"
+
+namespace gbmo::core {
+namespace {
+
+// Central-difference check of g = dl/ds for one instance. The losses define
+// per-instance loss implicitly through value(); we rebuild a one-instance
+// dataset per case.
+void check_gradients(const Loss& loss, const data::Labels& y, int d,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> scores(static_cast<std::size_t>(d));
+  for (auto& s : scores) s = rng.uniform(-2.0f, 2.0f);
+
+  std::vector<float> g(static_cast<std::size_t>(d)), h(static_cast<std::size_t>(d));
+  loss.instance_gradients(scores, y, 0, g, h);
+
+  const double eps = 1e-3;
+  for (int k = 0; k < d; ++k) {
+    auto perturbed = scores;
+    perturbed[static_cast<std::size_t>(k)] += static_cast<float>(eps);
+    const double up = loss.value(perturbed, y);
+    perturbed[static_cast<std::size_t>(k)] -= static_cast<float>(2 * eps);
+    const double down = loss.value(perturbed, y);
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(g[static_cast<std::size_t>(k)], numeric,
+                5e-2 * std::max(1.0, std::fabs(numeric)))
+        << loss.name() << " output " << k;
+    EXPECT_GT(h[static_cast<std::size_t>(k)], 0.0f) << "hessian must be positive";
+  }
+}
+
+TEST(MseLossTest, GradientsMatchFiniteDifferences) {
+  const auto y = data::Labels::multiregression({0.3f, -1.2f, 2.0f}, 1, 3);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    check_gradients(MseLoss{}, y, 3, seed);
+  }
+}
+
+TEST(MseLossTest, KnownValues) {
+  const auto y = data::Labels::multiregression({1.0f, 2.0f}, 1, 2);
+  MseLoss loss;
+  std::vector<float> scores = {1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(loss.value(scores, y), 0.0);
+  std::vector<float> g(2), h(2);
+  scores = {2.0f, 0.0f};
+  loss.instance_gradients(scores, y, 0, g, h);
+  EXPECT_FLOAT_EQ(g[0], 2.0f);   // 2*(2-1)
+  EXPECT_FLOAT_EQ(g[1], -4.0f);  // 2*(0-2)
+  EXPECT_FLOAT_EQ(h[0], 2.0f);
+}
+
+TEST(SoftmaxLossTest, GradientsMatchFiniteDifferences) {
+  const auto y = data::Labels::multiclass({2}, 4);
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    check_gradients(SoftmaxCrossEntropyLoss{}, y, 4, seed);
+  }
+}
+
+TEST(SoftmaxLossTest, GradientsSumToZero) {
+  // Softmax probabilities sum to 1 and the one-hot target sums to 1, so the
+  // per-instance gradient components must sum to zero.
+  const auto y = data::Labels::multiclass({1}, 5);
+  SoftmaxCrossEntropyLoss loss;
+  std::vector<float> scores = {0.1f, -0.5f, 2.0f, 0.0f, 1.0f};
+  std::vector<float> g(5), h(5);
+  loss.instance_gradients(scores, y, 0, g, h);
+  float sum = 0.0f;
+  for (float v : g) sum += v;
+  EXPECT_NEAR(sum, 0.0f, 1e-6f);
+}
+
+TEST(SoftmaxLossTest, StableUnderLargeScores) {
+  const auto y = data::Labels::multiclass({0}, 3);
+  SoftmaxCrossEntropyLoss loss;
+  std::vector<float> scores = {500.0f, -500.0f, 100.0f};
+  std::vector<float> g(3), h(3);
+  loss.instance_gradients(scores, y, 0, g, h);
+  for (float v : g) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_TRUE(std::isfinite(loss.value(scores, y)));
+  EXPECT_NEAR(g[0], 0.0f, 1e-4f);  // confident and correct
+}
+
+TEST(SigmoidBceLossTest, GradientsMatchFiniteDifferences) {
+  const auto y = data::Labels::multilabel({1, 0, 1}, 1, 3);
+  for (std::uint64_t seed : {20u, 21u, 22u}) {
+    check_gradients(SigmoidBceLoss{}, y, 3, seed);
+  }
+}
+
+TEST(SigmoidBceLossTest, StableAtExtremes) {
+  const auto y = data::Labels::multilabel({1, 0}, 1, 2);
+  SigmoidBceLoss loss;
+  std::vector<float> scores = {80.0f, -80.0f};
+  EXPECT_TRUE(std::isfinite(loss.value(scores, y)));
+  EXPECT_NEAR(loss.value(scores, y), 0.0, 1e-6);
+  scores = {-80.0f, 80.0f};  // maximally wrong
+  EXPECT_GT(loss.value(scores, y), 50.0);
+  EXPECT_TRUE(std::isfinite(loss.value(scores, y)));
+}
+
+TEST(LossFactoryTest, DefaultsPerTask) {
+  EXPECT_STREQ(Loss::default_for(data::TaskKind::kMulticlass)->name(), "softmax_ce");
+  EXPECT_STREQ(Loss::default_for(data::TaskKind::kMultilabel)->name(), "sigmoid_bce");
+  EXPECT_STREQ(Loss::default_for(data::TaskKind::kMultiregression)->name(), "mse");
+}
+
+}  // namespace
+}  // namespace gbmo::core

@@ -1,0 +1,186 @@
+// Metrics against hand-computed values; CSV/LIBSVM round trips for all
+// three task kinds; synthetic generator contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/metrics.h"
+#include "data/io.h"
+#include "data/paper_datasets.h"
+#include "data/synthetic.h"
+
+namespace gbmo {
+namespace {
+
+TEST(MetricsTest, AccuracyByHand) {
+  const auto y = data::Labels::multiclass({0, 1, 2, 1}, 3);
+  // Instance scores: argmax = 0, 1, 0, 1 -> 3 of 4 correct.
+  const std::vector<float> scores = {
+      5, 1, 1,  //
+      0, 2, 1,  //
+      9, 1, 3,  //
+      0, 7, 2,
+  };
+  EXPECT_DOUBLE_EQ(core::accuracy(scores, y), 0.75);
+}
+
+TEST(MetricsTest, RmseByHand) {
+  const auto y = data::Labels::multiregression({1.0f, 2.0f, 3.0f, 4.0f}, 2, 2);
+  const std::vector<float> scores = {2.0f, 2.0f, 3.0f, 2.0f};
+  // errors: 1, 0, 0, -2 -> mean square 5/4 -> rmse sqrt(1.25)
+  EXPECT_NEAR(core::rmse(scores, y), std::sqrt(1.25), 1e-9);
+}
+
+TEST(MetricsTest, MicroF1ByHand) {
+  const auto y = data::Labels::multilabel({1, 0, 1, 1}, 2, 2);
+  // predictions (score > 0): {1, 1}, {0, 1}; truth: {1, 0}, {1, 1}
+  const std::vector<float> scores = {1.0f, 1.0f, -1.0f, 1.0f};
+  // tp=2, fp=1, fn=1 -> f1 = 2*2/(2*2+1+1) = 2/3
+  EXPECT_NEAR(core::micro_f1(scores, y), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, PrimaryMetricPerTask) {
+  const auto mc = data::Labels::multiclass({0}, 2);
+  const std::vector<float> s1 = {1.0f, 0.0f};
+  EXPECT_EQ(core::evaluate_primary(s1, mc).metric, "accuracy%");
+  EXPECT_DOUBLE_EQ(core::evaluate_primary(s1, mc).value, 100.0);
+
+  const auto mr = data::Labels::multiregression({0.0f}, 1, 1);
+  EXPECT_EQ(core::evaluate_primary({s1.data(), 1}, mr).metric, "rmse");
+}
+
+data::Dataset roundtrip_csv(const data::Dataset& d) {
+  std::stringstream ss;
+  data::write_csv(ss, d);
+  return data::read_csv(ss, d.n_features());
+}
+
+data::Dataset roundtrip_libsvm(const data::Dataset& d) {
+  std::stringstream ss;
+  data::write_libsvm(ss, d);
+  return data::read_libsvm(ss, d.n_features(), d.task(), d.n_outputs());
+}
+
+void expect_same(const data::Dataset& a, const data::Dataset& b) {
+  ASSERT_EQ(a.n_instances(), b.n_instances());
+  ASSERT_EQ(a.n_features(), b.n_features());
+  ASSERT_EQ(a.n_outputs(), b.n_outputs());
+  ASSERT_EQ(a.task(), b.task());
+  for (std::size_t i = 0; i < a.n_instances(); ++i) {
+    for (std::size_t f = 0; f < a.n_features(); ++f) {
+      EXPECT_NEAR(a.x.at(i, f), b.x.at(i, f), 1e-4f) << i << "," << f;
+    }
+    for (int k = 0; k < a.n_outputs(); ++k) {
+      EXPECT_NEAR(a.y.target(i, k), b.y.target(i, k), 1e-4f);
+    }
+  }
+}
+
+TEST(IoTest, CsvRoundTripAllTasks) {
+  data::MulticlassSpec mc;
+  mc.n_instances = 40;
+  mc.n_features = 5;
+  mc.n_classes = 3;
+  expect_same(data::make_multiclass(mc), roundtrip_csv(data::make_multiclass(mc)));
+
+  data::MultilabelSpec ml;
+  ml.n_instances = 40;
+  ml.n_features = 6;
+  ml.n_outputs = 4;
+  expect_same(data::make_multilabel(ml), roundtrip_csv(data::make_multilabel(ml)));
+
+  data::MultiregressionSpec mr;
+  mr.n_instances = 40;
+  mr.n_features = 5;
+  mr.n_outputs = 3;
+  expect_same(data::make_multiregression(mr),
+              roundtrip_csv(data::make_multiregression(mr)));
+}
+
+TEST(IoTest, LibsvmRoundTripAllTasks) {
+  data::MulticlassSpec mc;
+  mc.n_instances = 30;
+  mc.n_features = 5;
+  mc.n_classes = 3;
+  mc.sparsity = 0.6;
+  expect_same(data::make_multiclass(mc),
+              roundtrip_libsvm(data::make_multiclass(mc)));
+
+  data::MultilabelSpec ml;
+  ml.n_instances = 30;
+  ml.n_features = 6;
+  ml.n_outputs = 4;
+  expect_same(data::make_multilabel(ml),
+              roundtrip_libsvm(data::make_multilabel(ml)));
+
+  data::MultiregressionSpec mr;
+  mr.n_instances = 30;
+  mr.n_features = 5;
+  mr.n_outputs = 3;
+  mr.sparsity = 0.5;
+  expect_same(data::make_multiregression(mr),
+              roundtrip_libsvm(data::make_multiregression(mr)));
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  data::MulticlassSpec spec;
+  spec.n_instances = 50;
+  spec.n_features = 8;
+  spec.n_classes = 4;
+  const auto a = data::make_multiclass(spec);
+  const auto b = data::make_multiclass(spec);
+  for (std::size_t i = 0; i < a.x.values().size(); ++i) {
+    ASSERT_EQ(a.x.values()[i], b.x.values()[i]);
+  }
+  spec.seed += 1;
+  const auto c = data::make_multiclass(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.x.values().size(); ++i) {
+    any_diff |= a.x.values()[i] != c.x.values()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, SparsityIsRespected) {
+  data::MulticlassSpec spec;
+  spec.n_instances = 500;
+  spec.n_features = 20;
+  spec.n_classes = 3;
+  spec.sparsity = 0.7;
+  const auto d = data::make_multiclass(spec);
+  EXPECT_NEAR(d.x.zero_fraction(), 0.7, 0.05);
+}
+
+TEST(SyntheticTest, MultilabelDensityTracksSpec) {
+  data::MultilabelSpec spec;
+  spec.n_instances = 800;
+  spec.n_outputs = 20;
+  spec.labels_per_instance = 3.0;
+  const auto d = data::make_multilabel(spec);
+  double total = 0.0;
+  for (std::size_t i = 0; i < d.n_instances(); ++i) {
+    for (int k = 0; k < 20; ++k) total += d.y.target(i, k);
+  }
+  const double avg = total / static_cast<double>(d.n_instances());
+  EXPECT_GT(avg, 1.0);
+  EXPECT_LT(avg, 7.0);
+}
+
+TEST(PaperDatasetsTest, AllNineReplicasGenerate) {
+  const auto& specs = data::paper_datasets();
+  ASSERT_EQ(specs.size(), 9u);
+  for (const auto& spec : specs) {
+    const auto d = data::make_replica(spec);
+    EXPECT_EQ(d.n_instances(), spec.bench.n_instances) << spec.name;
+    EXPECT_EQ(d.n_features(), spec.bench.n_features) << spec.name;
+    EXPECT_EQ(d.n_outputs(), spec.bench.n_outputs) << spec.name;
+    EXPECT_EQ(d.task(), spec.task) << spec.name;
+    EXPECT_GT(spec.scale_factor(), 1.0) << spec.name;
+  }
+  EXPECT_EQ(data::find_dataset("MNIST").full.n_features, 784u);
+  EXPECT_THROW(data::find_dataset("nope"), Error);
+}
+
+}  // namespace
+}  // namespace gbmo

@@ -1,0 +1,138 @@
+// Quantization invariants and the bin-packing round trip (§3.4.1),
+// property-swept over random data.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/bin_pack.h"
+#include "data/quantize.h"
+
+namespace gbmo::data {
+namespace {
+
+DenseMatrix random_matrix(std::size_t n, std::size_t m, double sparsity,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix x(n, m);
+  for (auto& v : x.values()) {
+    v = rng.bernoulli(sparsity) ? 0.0f : rng.uniform(-10.0f, 10.0f);
+  }
+  return x;
+}
+
+class QuantizeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(QuantizeProperty, CutsMonotoneBinsConsistent) {
+  const auto [n, max_bins, sparsity] = GetParam();
+  const auto x = random_matrix(static_cast<std::size_t>(n), 5, sparsity, 99);
+  const auto cuts = BinCuts::build(x, max_bins);
+  ASSERT_EQ(cuts.n_features(), 5u);
+
+  for (std::size_t f = 0; f < 5; ++f) {
+    const auto c = cuts.cuts(f);
+    ASSERT_LT(c.size(), static_cast<std::size_t>(max_bins));
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      EXPECT_LT(c[i], c[i + 1]) << "cuts must be strictly increasing";
+    }
+    // Property: bin_for is the number of cuts strictly below the value,
+    // i.e. v <= threshold_for(f, b)  <=>  bin_for(f, v) <= b.
+    for (std::size_t r = 0; r < x.n_rows(); ++r) {
+      const float v = x.at(r, f);
+      const int b = cuts.bin_for(f, v);
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, cuts.n_bins(f));
+      for (int t = 0; t + 1 < cuts.n_bins(f); ++t) {
+        EXPECT_EQ(v <= cuts.threshold_for(f, t), b <= t)
+            << "value " << v << " bin " << b << " threshold bin " << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantizeProperty,
+    ::testing::Combine(::testing::Values(10, 100, 1000),
+                       ::testing::Values(4, 32, 256),
+                       ::testing::Values(0.0, 0.5, 0.9)));
+
+TEST(QuantizeTest, FewDistinctValuesGetExactCuts) {
+  DenseMatrix x(6, 1);
+  const float vals[] = {1.0f, 2.0f, 2.0f, 3.0f, 1.0f, 3.0f};
+  for (std::size_t i = 0; i < 6; ++i) x.at(i, 0) = vals[i];
+  const auto cuts = BinCuts::build(x, 256);
+  EXPECT_EQ(cuts.n_bins(0), 3);  // 3 distinct values -> 2 cuts -> 3 bins
+  EXPECT_EQ(cuts.bin_for(0, 1.0f), 0);
+  EXPECT_EQ(cuts.bin_for(0, 2.0f), 1);
+  EXPECT_EQ(cuts.bin_for(0, 3.0f), 2);
+}
+
+TEST(QuantizeTest, ConstantFeatureHasOneBin) {
+  DenseMatrix x(5, 1, 7.0f);
+  const auto cuts = BinCuts::build(x, 256);
+  EXPECT_EQ(cuts.n_bins(0), 1);
+  EXPECT_EQ(cuts.bin_for(0, 7.0f), 0);
+}
+
+TEST(QuantizeTest, FromCutArraysRoundTrip) {
+  const std::vector<std::vector<float>> arrays = {{-1.0f, 0.5f, 2.0f}, {}, {3.0f}};
+  const auto cuts = BinCuts::from_cut_arrays(arrays, 256);
+  ASSERT_EQ(cuts.n_features(), 3u);
+  EXPECT_EQ(cuts.n_bins(0), 4);
+  EXPECT_EQ(cuts.n_bins(1), 1);
+  EXPECT_EQ(cuts.bin_for(0, 0.0f), 1);
+  EXPECT_EQ(cuts.bin_for(2, 10.0f), 1);
+  EXPECT_THROW(BinCuts::from_cut_arrays({{2.0f, 1.0f}}, 256), Error);
+}
+
+TEST(BinnedMatrixTest, MatchesScalarBinning) {
+  const auto x = random_matrix(200, 7, 0.3, 1234);
+  const auto cuts = BinCuts::build(x, 32);
+  const BinnedMatrix binned(x, cuts);
+  for (std::size_t r = 0; r < x.n_rows(); ++r) {
+    for (std::size_t c = 0; c < x.n_cols(); ++c) {
+      EXPECT_EQ(binned.bin(r, c), cuts.bin_for(c, x.at(r, c)));
+    }
+  }
+}
+
+class PackProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackProperty, PackUnpackRoundTrip) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Rng rng(n);
+  std::vector<std::uint8_t> bins(n);
+  for (auto& b : bins) b = static_cast<std::uint8_t>(rng.next_below(256));
+  std::vector<std::uint32_t> words((n + 3) / 4);
+  pack_bins(bins, words);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(unpack_bin(words[i / 4], static_cast<unsigned>(i % 4)), bins[i]);
+  }
+  if (!words.empty()) {
+    std::uint8_t four[4];
+    unpack_word(words[0], four);
+    for (unsigned lane = 0; lane < std::min<std::size_t>(4, n); ++lane) {
+      EXPECT_EQ(four[lane], bins[lane]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 127, 1024));
+
+TEST(BinnedMatrixTest, PackedColumnsMatchUnpacked) {
+  const auto x = random_matrix(133, 4, 0.5, 77);  // non-multiple-of-4 rows
+  const auto cuts = BinCuts::build(x, 64);
+  BinnedMatrix binned(x, cuts);
+  binned.pack();
+  ASSERT_TRUE(binned.packed());
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto words = binned.packed_col(c);
+    for (std::size_t r = 0; r < 133; ++r) {
+      EXPECT_EQ(unpack_bin(words[r / 4], static_cast<unsigned>(r % 4)),
+                binned.bin(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gbmo::data

@@ -1,0 +1,213 @@
+// Split finder vs. exhaustive enumeration on small data, swept over output
+// dimensions and regularization; constraint handling; batched == per-node.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/histogram.h"
+#include "core/split.h"
+#include "data/quantize.h"
+
+namespace gbmo::core {
+namespace {
+
+struct TinyProblem {
+  data::DenseMatrix x;
+  data::BinCuts cuts;
+  data::BinnedMatrix binned;
+  HistogramLayout layout;
+  std::vector<float> g, h;
+  std::vector<std::uint32_t> rows;
+  std::vector<std::uint32_t> features;
+  NodeHistogram hist;
+  std::vector<sim::GradPair> totals;
+
+  TinyProblem(std::size_t n, std::size_t m, int d, std::uint64_t seed)
+      : x(n, m) {
+    Rng rng(seed);
+    for (auto& v : x.values()) v = rng.uniform(-3.0f, 3.0f);
+    cuts = data::BinCuts::build(x, 16);
+    binned = data::BinnedMatrix(x, cuts);
+    layout = HistogramLayout(cuts, d);
+    g.resize(n * static_cast<std::size_t>(d));
+    h.resize(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] = rng.uniform(-2.0f, 2.0f);
+      h[i] = rng.uniform(0.2f, 1.5f);
+    }
+    rows.resize(n);
+    std::iota(rows.begin(), rows.end(), 0u);
+    features.resize(m);
+    std::iota(features.begin(), features.end(), 0u);
+
+    hist.resize(layout);
+    totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
+    for (std::uint32_t r : rows) {
+      for (int k = 0; k < d; ++k) {
+        totals[static_cast<std::size_t>(k)].g += g[r * static_cast<std::size_t>(d) + k];
+        totals[static_cast<std::size_t>(k)].h += h[r * static_cast<std::size_t>(d) + k];
+      }
+      for (std::uint32_t f : features) {
+        const auto bin = binned.bin(r, f);
+        for (int k = 0; k < d; ++k) {
+          auto& slot = hist.sums[layout.slot(f, bin, k)];
+          slot.g += g[r * static_cast<std::size_t>(d) + k];
+          slot.h += h[r * static_cast<std::size_t>(d) + k];
+        }
+        ++hist.counts[layout.bin_index(f, bin)];
+      }
+    }
+  }
+
+  // Exhaustive search over every (feature, bin) with Eq. (3).
+  SplitResult brute_force(const TrainConfig& cfg) const {
+    const int d = layout.n_outputs();
+    SplitResult best;
+    best.gain = cfg.min_split_gain;
+    double parent = 0.0;
+    for (const auto& t : totals) {
+      parent += static_cast<double>(t.g) * t.g / (t.h + cfg.lambda_l2);
+    }
+    for (std::uint32_t f : features) {
+      for (int b = 0; b + 1 < layout.n_bins(f); ++b) {
+        std::uint32_t n_left = 0;
+        std::vector<double> gl(static_cast<std::size_t>(d)), hl(static_cast<std::size_t>(d));
+        for (std::uint32_t r : rows) {
+          if (binned.bin(r, f) <= b) {
+            ++n_left;
+            for (int k = 0; k < d; ++k) {
+              gl[static_cast<std::size_t>(k)] += g[r * static_cast<std::size_t>(d) + k];
+              hl[static_cast<std::size_t>(k)] += h[r * static_cast<std::size_t>(d) + k];
+            }
+          }
+        }
+        const std::uint32_t n_right = static_cast<std::uint32_t>(rows.size()) - n_left;
+        if (n_left < static_cast<std::uint32_t>(cfg.min_instances_per_node) ||
+            n_right < static_cast<std::uint32_t>(cfg.min_instances_per_node)) {
+          continue;
+        }
+        double acc = 0.0;
+        for (int k = 0; k < d; ++k) {
+          const double gr = totals[static_cast<std::size_t>(k)].g - gl[static_cast<std::size_t>(k)];
+          const double hr = totals[static_cast<std::size_t>(k)].h - hl[static_cast<std::size_t>(k)];
+          acc += gl[static_cast<std::size_t>(k)] * gl[static_cast<std::size_t>(k)] /
+                     (hl[static_cast<std::size_t>(k)] + cfg.lambda_l2) +
+                 gr * gr / (hr + cfg.lambda_l2);
+        }
+        const float gain = static_cast<float>(0.5 * (acc - parent));
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = static_cast<std::int32_t>(f);
+          best.bin = b;
+          best.n_left = n_left;
+          best.n_right = n_right;
+        }
+      }
+    }
+    return best;
+  }
+};
+
+class SplitBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, float, std::uint64_t>> {};
+
+TEST_P(SplitBruteForce, MatchesExhaustiveSearch) {
+  const auto [d, lambda, seed] = GetParam();
+  TinyProblem p(60, 4, d, seed);
+  TrainConfig cfg;
+  cfg.lambda_l2 = lambda;
+  cfg.min_instances_per_node = 5;
+
+  SplitScratch scratch;
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+  const auto fast = find_best_split(dev, p.layout, p.hist, p.totals,
+                                    static_cast<std::uint32_t>(p.rows.size()),
+                                    p.features, cfg, scratch);
+  const auto slow = p.brute_force(cfg);
+
+  ASSERT_EQ(fast.valid(), slow.valid());
+  if (fast.valid()) {
+    EXPECT_EQ(fast.feature, slow.feature);
+    EXPECT_EQ(fast.bin, slow.bin);
+    EXPECT_NEAR(fast.gain, slow.gain, 1e-3f * std::max(1.0f, std::abs(slow.gain)));
+    EXPECT_EQ(fast.n_left, slow.n_left);
+    EXPECT_EQ(fast.n_right, slow.n_right);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SplitBruteForce,
+    ::testing::Combine(::testing::Values(1, 2, 7), ::testing::Values(0.1f, 1.0f, 10.0f),
+                       ::testing::Values(5u, 17u, 99u)));
+
+TEST(SplitConstraints, MinInstancesBlocksSmallChildren) {
+  TinyProblem p(30, 2, 2, 3);
+  TrainConfig cfg;
+  cfg.min_instances_per_node = 16;  // no split can satisfy 16+16 > 30
+  SplitScratch scratch;
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+  const auto res = find_best_split(dev, p.layout, p.hist, p.totals, 30,
+                                   p.features, cfg, scratch);
+  EXPECT_FALSE(res.valid());
+}
+
+TEST(SplitBatched, MatchesPerNodeResults) {
+  TrainConfig cfg;
+  cfg.min_instances_per_node = 5;
+  SplitScratch scratch;
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+
+  // Batch two *nodes* of the same problem: even and odd rows.
+  TinyProblem base(90, 3, 4, 13);
+  auto node_of = [&](int parity) {
+    NodeHistogram hist;
+    hist.resize(base.layout);
+    std::vector<sim::GradPair> totals(4);
+    std::uint32_t count = 0;
+    for (std::uint32_t r : base.rows) {
+      if (static_cast<int>(r % 2) != parity) continue;
+      ++count;
+      for (int k = 0; k < 4; ++k) {
+        totals[static_cast<std::size_t>(k)].g += base.g[r * 4 + static_cast<std::size_t>(k)];
+        totals[static_cast<std::size_t>(k)].h += base.h[r * 4 + static_cast<std::size_t>(k)];
+      }
+      for (std::uint32_t f : base.features) {
+        const auto bin = base.binned.bin(r, f);
+        for (int k = 0; k < 4; ++k) {
+          auto& slot = hist.sums[base.layout.slot(f, bin, k)];
+          slot.g += base.g[r * 4 + static_cast<std::size_t>(k)];
+          slot.h += base.h[r * 4 + static_cast<std::size_t>(k)];
+        }
+        ++hist.counts[base.layout.bin_index(f, bin)];
+      }
+    }
+    return std::make_tuple(std::move(hist), std::move(totals), count);
+  };
+  auto [h0, t0, c0] = node_of(0);
+  auto [h1, t1, c1] = node_of(1);
+
+  const auto r0 = find_best_split(dev, base.layout, h0, t0, c0, base.features,
+                                  cfg, scratch);
+  const auto r1 = find_best_split(dev, base.layout, h1, t1, c1, base.features,
+                                  cfg, scratch);
+
+  std::vector<NodeSplitInput> inputs = {{&h0, t0, c0}, {&h1, t1, c1}};
+  const auto batched =
+      find_best_splits(dev, base.layout, inputs, base.features, cfg, scratch);
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_EQ(batched[0].feature, r0.feature);
+  EXPECT_EQ(batched[0].bin, r0.bin);
+  EXPECT_EQ(batched[1].feature, r1.feature);
+  EXPECT_EQ(batched[1].bin, r1.bin);
+}
+
+TEST(LeafObjectiveTest, MatchesFormula) {
+  std::vector<sim::GradPair> totals = {{4.0f, 2.0f}, {-3.0f, 1.0f}};
+  // -1/2 * (16/(2+1) + 9/(1+1)) = -1/2 * (5.3333 + 4.5)
+  EXPECT_NEAR(leaf_objective(totals, 1.0f), -0.5 * (16.0 / 3.0 + 9.0 / 2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace gbmo::core

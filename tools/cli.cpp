@@ -1,0 +1,422 @@
+#include "cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "baselines/system.h"
+#include "common/table.h"
+#include "core/booster.h"
+#include "core/importance.h"
+#include "core/model_io.h"
+#include "data/io.h"
+#include "data/paper_datasets.h"
+#include "data/synthetic.h"
+
+namespace gbmo::cli {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// argument parsing
+
+class Args {
+ public:
+  Args(const std::vector<std::string>& argv, std::size_t start) {
+    for (std::size_t i = start; i < argv.size(); ++i) {
+      const auto& a = argv[i];
+      if (a.rfind("--", 0) != 0) {
+        throw Error("unexpected positional argument: " + a);
+      }
+      const std::string key = a.substr(2);
+      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string str(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.insert(key);
+    return it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end() || it->second.empty()) {
+      throw Error("missing required option --" + key);
+    }
+    used_.insert(key);
+    return it->second;
+  }
+
+  long integer(const std::string& key, long fallback) const {
+    const auto s = str(key);
+    return s.empty() ? fallback : std::stol(s);
+  }
+
+  double number(const std::string& key, double fallback) const {
+    const auto s = str(key);
+    return s.empty() ? fallback : std::stod(s);
+  }
+
+  bool flag(const std::string& key) const {
+    used_.insert(key);
+    return values_.count(key) > 0;
+  }
+
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (!used_.count(key)) throw Error("unknown option --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+data::TaskKind parse_task(const std::string& s) {
+  if (s == "multiclass") return data::TaskKind::kMulticlass;
+  if (s == "multilabel") return data::TaskKind::kMultilabel;
+  if (s == "multiregress") return data::TaskKind::kMultiregression;
+  throw Error("unknown --task: " + s + " (multiclass|multilabel|multiregress)");
+}
+
+sim::DeviceSpec parse_device(const std::string& s) {
+  if (s.empty() || s == "4090") return sim::DeviceSpec::rtx4090();
+  if (s == "3090") return sim::DeviceSpec::rtx3090();
+  if (s == "cpu") return sim::DeviceSpec::cpu_server();
+  throw Error("unknown --device: " + s + " (4090|3090|cpu)");
+}
+
+// Loads a dataset in either format; libsvm needs the task + output count.
+data::Dataset load_dataset(const Args& args, const std::string& path_key) {
+  const auto path = args.require(path_key);
+  const auto format = args.str("format", "csv");
+  const auto n_features = static_cast<std::size_t>(args.integer("features", 0));
+  if (n_features == 0) throw Error("missing required option --features");
+  if (format == "csv") {
+    return data::read_csv_file(path, n_features);
+  }
+  if (format == "libsvm") {
+    std::ifstream is(path);
+    if (!is.good()) throw Error("cannot open " + path);
+    return data::read_libsvm(is, n_features, parse_task(args.require("task")),
+                             static_cast<int>(args.integer("outputs", 0)));
+  }
+  throw Error("unknown --format: " + format + " (csv|libsvm)");
+}
+
+core::TrainConfig parse_train_config(const Args& args) {
+  core::TrainConfig cfg;
+  cfg.n_trees = static_cast<int>(args.integer("trees", cfg.n_trees));
+  cfg.max_depth = static_cast<int>(args.integer("depth", cfg.max_depth));
+  cfg.learning_rate = static_cast<float>(args.number("lr", cfg.learning_rate));
+  cfg.max_bins = static_cast<int>(args.integer("bins", cfg.max_bins));
+  cfg.min_instances_per_node =
+      static_cast<int>(args.integer("min-node", cfg.min_instances_per_node));
+  cfg.lambda_l2 = static_cast<float>(args.number("lambda", cfg.lambda_l2));
+  cfg.n_devices = static_cast<int>(args.integer("devices", cfg.n_devices));
+  cfg.subsample = args.number("subsample", cfg.subsample);
+  cfg.colsample_bytree = args.number("colsample", cfg.colsample_bytree);
+  cfg.early_stopping_rounds =
+      static_cast<int>(args.integer("early-stop", cfg.early_stopping_rounds));
+  cfg.seed = static_cast<std::uint64_t>(args.integer("seed", 0));
+  if (args.flag("no-warp-opt")) cfg.warp_opt = false;
+  if (args.flag("no-sparsity-aware")) cfg.sparsity_aware = false;
+  if (args.flag("csc")) cfg.csc_level_sweep = true;
+
+  const auto hist = args.str("hist", "auto");
+  if (hist == "auto") cfg.hist_method = core::HistMethod::kAuto;
+  else if (hist == "gmem") cfg.hist_method = core::HistMethod::kGlobal;
+  else if (hist == "smem") cfg.hist_method = core::HistMethod::kShared;
+  else if (hist == "sort-reduce") cfg.hist_method = core::HistMethod::kSortReduce;
+  else throw Error("unknown --hist: " + hist);
+
+  const auto mgpu = args.str("mgpu", "feature");
+  if (mgpu == "feature") cfg.multi_gpu = core::MultiGpuMode::kFeatureParallel;
+  else if (mgpu == "data") cfg.multi_gpu = core::MultiGpuMode::kDataParallel;
+  else throw Error("unknown --mgpu: " + mgpu);
+  return cfg;
+}
+
+void print_report(const core::TrainReport& report, std::ostream& out) {
+  out << "trees trained:        " << report.trees_trained
+      << (report.early_stopped ? " (early stopped)" : "") << "\n";
+  out << "modeled device time:  " << report.modeled_seconds << " s\n";
+  out << "histogram fraction:   " << 100.0 * report.histogram_fraction()
+      << " %\n";
+  for (const auto& [phase, seconds] : report.phase_seconds) {
+    out << "  " << phase << ": " << seconds << " s\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// commands
+
+int cmd_generate(const Args& args, std::ostream& out) {
+  const auto task = parse_task(args.require("task"));
+  const auto n = static_cast<std::size_t>(args.integer("n", 1000));
+  const auto m = static_cast<std::size_t>(args.integer("m", 20));
+  const auto d = static_cast<int>(args.integer("d", 5));
+  const auto sparsity = args.number("sparsity", 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.integer("seed", 42));
+  const auto path = args.require("out");
+  const auto format = args.str("format", "csv");
+  args.reject_unknown();
+
+  data::Dataset dataset;
+  switch (task) {
+    case data::TaskKind::kMulticlass: {
+      data::MulticlassSpec spec;
+      spec.n_instances = n;
+      spec.n_features = m;
+      spec.n_classes = d;
+      spec.sparsity = sparsity;
+      spec.seed = seed;
+      dataset = data::make_multiclass(spec);
+      break;
+    }
+    case data::TaskKind::kMultilabel: {
+      data::MultilabelSpec spec;
+      spec.n_instances = n;
+      spec.n_features = m;
+      spec.n_outputs = d;
+      spec.sparsity = sparsity;
+      spec.seed = seed;
+      dataset = data::make_multilabel(spec);
+      break;
+    }
+    case data::TaskKind::kMultiregression: {
+      data::MultiregressionSpec spec;
+      spec.n_instances = n;
+      spec.n_features = m;
+      spec.n_outputs = d;
+      spec.sparsity = sparsity;
+      spec.seed = seed;
+      dataset = data::make_multiregression(spec);
+      break;
+    }
+  }
+  if (format == "csv") {
+    data::write_csv_file(path, dataset);
+  } else if (format == "libsvm") {
+    std::ofstream os(path);
+    if (!os.good()) throw Error("cannot open " + path);
+    data::write_libsvm(os, dataset);
+  } else {
+    throw Error("unknown --format: " + format);
+  }
+  out << "wrote " << dataset.n_instances() << " instances x "
+      << dataset.n_features() << " features, " << dataset.n_outputs()
+      << " outputs (" << data::task_name(task) << ") to " << path << "\n";
+  return 0;
+}
+
+int cmd_train(const Args& args, std::ostream& out) {
+  const auto train = load_dataset(args, "data");
+  const auto cfg = parse_train_config(args);
+  const auto model_path = args.require("model");
+  const auto device = parse_device(args.str("device"));
+
+  std::optional<data::Dataset> valid;
+  if (args.has("valid")) {
+    const auto valid_path = args.str("valid");
+    valid = data::read_csv_file(valid_path, train.n_features());
+  }
+  args.reject_unknown();
+
+  core::GbmoBooster booster(cfg, device);
+  const auto model =
+      booster.fit(train, nullptr, valid.has_value() ? &*valid : nullptr);
+  core::save_model(model_path, model);
+
+  out << "trained on " << train.n_instances() << " x " << train.n_features()
+      << " (" << data::task_name(train.task()) << ", " << train.n_outputs()
+      << " outputs)\n";
+  print_report(booster.report(), out);
+  const auto eval = model.evaluate(train);
+  out << "train " << eval.metric << ": " << eval.value << "\n";
+  if (valid.has_value()) {
+    const auto veval = model.evaluate(*valid);
+    out << "valid " << veval.metric << ": " << veval.value << "\n";
+  }
+  out << "model saved to " << model_path << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const Args& args, std::ostream& out) {
+  const auto model = core::load_model(args.require("model"));
+  const auto dataset = load_dataset(args, "data");
+  args.reject_unknown();
+  const auto eval = model.evaluate(dataset);
+  out << eval.metric << ": " << eval.value << "\n";
+  return 0;
+}
+
+int cmd_predict(const Args& args, std::ostream& out) {
+  const auto model = core::load_model(args.require("model"));
+  const auto dataset = load_dataset(args, "data");
+  const auto out_path = args.require("out");
+  args.reject_unknown();
+
+  const auto scores = model.predict(dataset.x);
+  std::ofstream os(out_path);
+  if (!os.good()) throw Error("cannot open " + out_path);
+  const auto d = static_cast<std::size_t>(model.n_outputs);
+  for (std::size_t i = 0; i < dataset.n_instances(); ++i) {
+    for (std::size_t k = 0; k < d; ++k) {
+      os << scores[i * d + k] << (k + 1 < d ? ',' : '\n');
+    }
+  }
+  out << "wrote " << dataset.n_instances() << " score rows (" << d
+      << " outputs each) to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_importance(const Args& args, std::ostream& out) {
+  const auto model = core::load_model(args.require("model"));
+  const auto top = static_cast<std::size_t>(args.integer("top", 10));
+  const auto kind = args.str("by", "gain") == "count"
+                        ? core::ImportanceKind::kSplitCount
+                        : core::ImportanceKind::kGain;
+  args.reject_unknown();
+
+  const auto n_features = model.cuts.n_features();
+  const auto importance =
+      core::feature_importance(model.trees, n_features, kind);
+  const auto order = core::top_features(model.trees, n_features, top, kind);
+  for (const auto f : order) {
+    out << "feature " << f << ": " << importance[f] << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args, std::ostream& out) {
+  const auto model = core::load_model(args.require("model"));
+  args.reject_unknown();
+  std::size_t nodes = 0, leaves = 0;
+  int depth = 0;
+  for (const auto& tree : model.trees) {
+    nodes += tree.n_nodes();
+    leaves += tree.n_leaves();
+    depth = std::max(depth, tree.max_depth_reached());
+  }
+  out << "task:        " << data::task_name(model.task) << "\n"
+      << "outputs:     " << model.n_outputs << "\n"
+      << "features:    " << model.cuts.n_features() << "\n"
+      << "trees:       " << model.trees.size() << "\n"
+      << "nodes:       " << nodes << " (" << leaves << " leaves)\n"
+      << "max depth:   " << depth << "\n";
+  return 0;
+}
+
+int cmd_bench(const Args& args, std::ostream& out) {
+  const auto name = args.require("dataset");
+  const auto system = args.str("system", "ours");
+  auto cfg = parse_train_config(args);
+  const auto device = parse_device(args.str("device"));
+  args.reject_unknown();
+
+  const auto& spec = data::find_dataset(name);
+  const auto full = data::make_replica(spec);
+  const auto split = data::split_dataset(full, 0.2);
+
+  auto sys = baselines::make_system(system, cfg, device);
+  sys->fit(split.train);
+  const auto eval = sys->evaluate(split.test);
+  out << "system " << system << " on " << name << " (bench-scale replica)\n";
+  print_report(sys->report(), out);
+  out << "test " << eval.metric << ": " << eval.value << "\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args, std::ostream& out) {
+  const auto train_full = load_dataset(args, "data");
+  auto cfg = parse_train_config(args);
+  const auto device = parse_device(args.str("device"));
+  args.reject_unknown();
+
+  const auto split = data::split_dataset(train_full, 0.2);
+  TextTable table({"system", "modeled s", "per-round ms", "test metric", "value"});
+  for (const auto& name : baselines::gpu_system_names()) {
+    auto sys = baselines::make_system(name, cfg, device);
+    sys->fit(split.train);
+    const auto eval = sys->evaluate(split.test);
+    const auto& report = sys->report();
+    const double per_round =
+        report.per_tree_seconds.empty()
+            ? 0.0
+            : report.modeled_seconds /
+                  static_cast<double>(report.per_tree_seconds.size());
+    table.add_row({name, TextTable::num(report.modeled_seconds, 4),
+                   TextTable::num(per_round * 1e3, 3), eval.metric,
+                   TextTable::num(eval.value, 3)});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return R"(gbmo — multi-output gradient boosting on a simulated GPU substrate
+
+usage: gbmo <command> [options]
+
+commands:
+  generate   --task T --out FILE [--n N --m M --d D --sparsity F --seed N --format csv|libsvm]
+  train      --data FILE --features N --model OUT [--format csv|libsvm --task T --outputs D]
+             [--trees N --depth N --lr F --bins N --min-node N --lambda F --seed N]
+             [--hist auto|gmem|smem|sort-reduce --no-warp-opt --no-sparsity-aware]
+             [--devices N --mgpu feature|data --device 4090|3090|cpu]
+             [--subsample F --colsample F --valid FILE --early-stop N]
+  evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
+  predict    --model FILE --data FILE --features N --out FILE
+  importance --model FILE [--top K --by gain|count]
+  info       --model FILE
+  bench      --dataset NAME [--system ours|xgboost|lightgbm|catboost|sk-boost|mo-fu|mo-sp]
+             [--device 4090|3090|cpu + train options]
+  compare    --data FILE --features N [+ train options] — all five GPU
+             systems on your data, one table
+
+train also accepts --csc (build histograms by streaming binned CSC entries,
+the paper's §3.2 storage path).
+)";
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
+    out << usage();
+    return argv.empty() ? 2 : 0;
+  }
+  try {
+    const Args args(argv, 1);
+    const auto& cmd = argv[0];
+    if (cmd == "generate") return cmd_generate(args, out);
+    if (cmd == "train") return cmd_train(args, out);
+    if (cmd == "evaluate") return cmd_evaluate(args, out);
+    if (cmd == "predict") return cmd_predict(args, out);
+    if (cmd == "importance") return cmd_importance(args, out);
+    if (cmd == "info") return cmd_info(args, out);
+    if (cmd == "bench") return cmd_bench(args, out);
+    if (cmd == "compare") return cmd_compare(args, out);
+    err << "unknown command: " << cmd << "\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace gbmo::cli

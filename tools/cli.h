@@ -1,0 +1,28 @@
+// gbmo command-line interface, exposed as a library function so both the
+// binary (tools/gbmo_main.cpp) and the end-to-end tests drive the same code.
+//
+// Commands:
+//   generate   synthesize a dataset to CSV/LIBSVM
+//   train      train a model (optionally with validation + early stopping)
+//   evaluate   score a model against labelled data
+//   predict    write raw score vectors for a dataset
+//   importance print per-feature importance of a model
+//   info       summarize a model file
+//   bench      train on a named paper-replica dataset and print the report
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gbmo::cli {
+
+// Runs the CLI; argv excludes the program name. Output goes to `out`,
+// diagnostics to `err`. Returns a process exit code.
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err);
+
+// Renders the usage text (also printed on `--help` / bad arguments).
+std::string usage();
+
+}  // namespace gbmo::cli
