@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_num_classes.dir/bench_fig6b_num_classes.cpp.o"
+  "CMakeFiles/bench_fig6b_num_classes.dir/bench_fig6b_num_classes.cpp.o.d"
+  "bench_fig6b_num_classes"
+  "bench_fig6b_num_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_num_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/gbmo_bench_common.dir/bench_common.cpp.o.d"
+  "libgbmo_bench_common.a"
+  "libgbmo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

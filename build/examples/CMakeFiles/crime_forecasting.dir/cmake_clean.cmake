@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crime_forecasting.dir/crime_forecasting.cpp.o"
+  "CMakeFiles/crime_forecasting.dir/crime_forecasting.cpp.o.d"
+  "crime_forecasting"
+  "crime_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crime_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_mo.cpp" "src/CMakeFiles/gbmo_baselines.dir/baselines/cpu_mo.cpp.o" "gcc" "src/CMakeFiles/gbmo_baselines.dir/baselines/cpu_mo.cpp.o.d"
+  "/root/repo/src/baselines/oblivious.cpp" "src/CMakeFiles/gbmo_baselines.dir/baselines/oblivious.cpp.o" "gcc" "src/CMakeFiles/gbmo_baselines.dir/baselines/oblivious.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "src/CMakeFiles/gbmo_baselines.dir/baselines/registry.cpp.o" "gcc" "src/CMakeFiles/gbmo_baselines.dir/baselines/registry.cpp.o.d"
+  "/root/repo/src/baselines/sketchboost.cpp" "src/CMakeFiles/gbmo_baselines.dir/baselines/sketchboost.cpp.o" "gcc" "src/CMakeFiles/gbmo_baselines.dir/baselines/sketchboost.cpp.o.d"
+  "/root/repo/src/baselines/so_booster.cpp" "src/CMakeFiles/gbmo_baselines.dir/baselines/so_booster.cpp.o" "gcc" "src/CMakeFiles/gbmo_baselines.dir/baselines/so_booster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

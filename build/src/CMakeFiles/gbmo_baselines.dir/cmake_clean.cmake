@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_baselines.dir/baselines/cpu_mo.cpp.o"
+  "CMakeFiles/gbmo_baselines.dir/baselines/cpu_mo.cpp.o.d"
+  "CMakeFiles/gbmo_baselines.dir/baselines/oblivious.cpp.o"
+  "CMakeFiles/gbmo_baselines.dir/baselines/oblivious.cpp.o.d"
+  "CMakeFiles/gbmo_baselines.dir/baselines/registry.cpp.o"
+  "CMakeFiles/gbmo_baselines.dir/baselines/registry.cpp.o.d"
+  "CMakeFiles/gbmo_baselines.dir/baselines/sketchboost.cpp.o"
+  "CMakeFiles/gbmo_baselines.dir/baselines/sketchboost.cpp.o.d"
+  "CMakeFiles/gbmo_baselines.dir/baselines/so_booster.cpp.o"
+  "CMakeFiles/gbmo_baselines.dir/baselines/so_booster.cpp.o.d"
+  "libgbmo_baselines.a"
+  "libgbmo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_common.dir/common/logging.cpp.o"
+  "CMakeFiles/gbmo_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/gbmo_common.dir/common/table.cpp.o"
+  "CMakeFiles/gbmo_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/gbmo_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/gbmo_common.dir/common/thread_pool.cpp.o.d"
+  "libgbmo_common.a"
+  "libgbmo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

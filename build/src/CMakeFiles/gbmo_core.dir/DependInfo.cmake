@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/booster.cpp" "src/CMakeFiles/gbmo_core.dir/core/booster.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/booster.cpp.o.d"
+  "/root/repo/src/core/gradients.cpp" "src/CMakeFiles/gbmo_core.dir/core/gradients.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/gradients.cpp.o.d"
+  "/root/repo/src/core/grower.cpp" "src/CMakeFiles/gbmo_core.dir/core/grower.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/grower.cpp.o.d"
+  "/root/repo/src/core/hist_adaptive.cpp" "src/CMakeFiles/gbmo_core.dir/core/hist_adaptive.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/hist_adaptive.cpp.o.d"
+  "/root/repo/src/core/hist_csc.cpp" "src/CMakeFiles/gbmo_core.dir/core/hist_csc.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/hist_csc.cpp.o.d"
+  "/root/repo/src/core/hist_global.cpp" "src/CMakeFiles/gbmo_core.dir/core/hist_global.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/hist_global.cpp.o.d"
+  "/root/repo/src/core/hist_shared.cpp" "src/CMakeFiles/gbmo_core.dir/core/hist_shared.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/hist_shared.cpp.o.d"
+  "/root/repo/src/core/hist_sort_reduce.cpp" "src/CMakeFiles/gbmo_core.dir/core/hist_sort_reduce.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/hist_sort_reduce.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/CMakeFiles/gbmo_core.dir/core/histogram.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/histogram.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/CMakeFiles/gbmo_core.dir/core/importance.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/importance.cpp.o.d"
+  "/root/repo/src/core/loss.cpp" "src/CMakeFiles/gbmo_core.dir/core/loss.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/loss.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/gbmo_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/gbmo_core.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/gbmo_core.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/core/split.cpp" "src/CMakeFiles/gbmo_core.dir/core/split.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/split.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/gbmo_core.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/gbmo_core.dir/core/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgbmo_core.a"
+)

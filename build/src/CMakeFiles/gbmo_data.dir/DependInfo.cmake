@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/bin_pack.cpp" "src/CMakeFiles/gbmo_data.dir/data/bin_pack.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/bin_pack.cpp.o.d"
+  "/root/repo/src/data/binned_csc.cpp" "src/CMakeFiles/gbmo_data.dir/data/binned_csc.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/binned_csc.cpp.o.d"
+  "/root/repo/src/data/csc.cpp" "src/CMakeFiles/gbmo_data.dir/data/csc.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/csc.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/gbmo_data.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/CMakeFiles/gbmo_data.dir/data/matrix.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/matrix.cpp.o.d"
+  "/root/repo/src/data/paper_datasets.cpp" "src/CMakeFiles/gbmo_data.dir/data/paper_datasets.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/paper_datasets.cpp.o.d"
+  "/root/repo/src/data/quantize.cpp" "src/CMakeFiles/gbmo_data.dir/data/quantize.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/quantize.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/gbmo_data.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/gbmo_data.dir/data/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gbmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

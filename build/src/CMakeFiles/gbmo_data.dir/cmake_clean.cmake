@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_data.dir/data/bin_pack.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/bin_pack.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/binned_csc.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/binned_csc.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/csc.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/csc.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/io.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/io.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/matrix.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/matrix.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/paper_datasets.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/paper_datasets.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/quantize.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/quantize.cpp.o.d"
+  "CMakeFiles/gbmo_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/gbmo_data.dir/data/synthetic.cpp.o.d"
+  "libgbmo_data.a"
+  "libgbmo_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

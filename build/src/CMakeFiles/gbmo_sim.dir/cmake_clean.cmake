@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_sim.dir/sim/collectives.cpp.o"
+  "CMakeFiles/gbmo_sim.dir/sim/collectives.cpp.o.d"
+  "CMakeFiles/gbmo_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/gbmo_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/gbmo_sim.dir/sim/device.cpp.o"
+  "CMakeFiles/gbmo_sim.dir/sim/device.cpp.o.d"
+  "CMakeFiles/gbmo_sim.dir/sim/primitives.cpp.o"
+  "CMakeFiles/gbmo_sim.dir/sim/primitives.cpp.o.d"
+  "libgbmo_sim.a"
+  "libgbmo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_baselines_detail.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_baselines_detail.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_baselines_detail.cpp.o.d"
+  "/root/repo/tests/test_booster_integration.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_booster_integration.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_booster_integration.cpp.o.d"
+  "/root/repo/tests/test_booster_smoke.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_booster_smoke.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_booster_smoke.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_csc_training.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_csc_training.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_csc_training.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_grower_tree.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_grower_tree.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_grower_tree.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_metrics_io.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_metrics_io.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_metrics_io.cpp.o.d"
+  "/root/repo/tests/test_prediction_utils.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_prediction_utils.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_prediction_utils.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_quantize.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_quantize.cpp.o.d"
+  "/root/repo/tests/test_sim_device.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_sim_device.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_sim_device.cpp.o.d"
+  "/root/repo/tests/test_sim_primitives.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_sim_primitives.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_sim_primitives.cpp.o.d"
+  "/root/repo/tests/test_split.cpp" "tests/CMakeFiles/gbmo_tests.dir/test_split.cpp.o" "gcc" "tests/CMakeFiles/gbmo_tests.dir/test_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/gbmo_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

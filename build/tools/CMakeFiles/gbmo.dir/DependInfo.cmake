@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/gbmo_main.cpp" "tools/CMakeFiles/gbmo.dir/gbmo_main.cpp.o" "gcc" "tools/CMakeFiles/gbmo.dir/gbmo_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/gbmo_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gbmo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo.dir/gbmo_main.cpp.o"
+  "CMakeFiles/gbmo.dir/gbmo_main.cpp.o.d"
+  "gbmo"
+  "gbmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

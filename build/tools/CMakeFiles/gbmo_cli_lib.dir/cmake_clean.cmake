@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbmo_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/gbmo_cli_lib.dir/cli.cpp.o.d"
+  "libgbmo_cli_lib.a"
+  "libgbmo_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbmo_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
