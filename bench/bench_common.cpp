@@ -1,9 +1,21 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
+#include "obs/profiler.h"
+
 namespace gbmo::bench {
+
+namespace {
+
+// When GBMO_TRACE_DIR is set, every bench run drops a Chrome trace JSON
+// (<dir>/<system>-<dataset>.trace.json) so a slow table entry can be
+// inspected kernel-by-kernel without modifying the bench source.
+const char* trace_dir() { return std::getenv("GBMO_TRACE_DIR"); }
+
+}  // namespace
 
 const data::TrainTestSplit& replica_split(const data::ReplicaSpec& spec) {
   static std::map<std::string, std::unique_ptr<data::TrainTestSplit>> cache;
@@ -29,7 +41,15 @@ RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
   cfg.max_bins = std::min(cfg.max_bins, 64);
 
   auto sys = baselines::make_system(system, cfg, std::move(device));
+  obs::Profiler profiler;
+  if (trace_dir() != nullptr) sys->set_sink(&profiler);
   sys->fit(split.train);
+  if (const char* dir = trace_dir()) {
+    const auto path =
+        std::string(dir) + "/" + system + "-" + spec.name + ".trace.json";
+    profiler.write_chrome_trace(path);
+    progress("trace written to " + path);
+  }
 
   RunOutput out;
   out.system = system;

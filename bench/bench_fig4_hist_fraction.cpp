@@ -32,7 +32,7 @@ int main() {
       progress(name + std::string(sparsity_aware ? " (sparse)" : " (dense)"));
       auto cfg = paper_config();
       cfg.sparsity_aware = sparsity_aware;
-      const auto out = run_system("ours", spec, cfg, /*trees=*/6);
+      const auto out = run_system("gbmo-gpu", spec, cfg, /*trees=*/6);
       double total = 0.0, hist = 0.0;
       for (const auto& [phase, sec] : out.report.phase_seconds) {
         total += sec;

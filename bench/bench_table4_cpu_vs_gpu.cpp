@@ -51,17 +51,19 @@ int main() {
     const auto& spec = gbmo::data::find_dataset(name);
     const auto& paper = kPaper.at(name);
 
-    progress(std::string(name) + " / mo-fu");
-    const auto fu = run_system("mo-fu", spec, paper_config(), 3);
-    progress(std::string(name) + " / mo-sp");
-    const auto sp = run_system("mo-sp", spec, paper_config(), 3);
-    progress(std::string(name) + " / ours");
-    const auto ours_t = run_system("ours", spec, paper_config(), 4);
+    // Canonical registry names; the table keeps the paper's labels
+    // (cpu-mo = mo-fu, cpu-mo-sparse = mo-sp, gbmo-gpu = ours).
+    progress(std::string(name) + " / cpu-mo");
+    const auto fu = run_system("cpu-mo", spec, paper_config(), 3);
+    progress(std::string(name) + " / cpu-mo-sparse");
+    const auto sp = run_system("cpu-mo-sparse", spec, paper_config(), 3);
+    progress(std::string(name) + " / gbmo-gpu");
+    const auto ours_t = run_system("gbmo-gpu", spec, paper_config(), 4);
     // Quality run with a fuller budget for all three (identical splits =>
     // mo-fu/mo-sp/ours should match closely).
-    const auto fu_q = run_system("mo-fu", spec, paper_config(), 25);
-    const auto sp_q = run_system("mo-sp", spec, paper_config(), 25);
-    const auto ours_q = run_system("ours", spec, paper_config(), 25);
+    const auto fu_q = run_system("cpu-mo", spec, paper_config(), 25);
+    const auto sp_q = run_system("cpu-mo-sparse", spec, paper_config(), 25);
+    const auto ours_q = run_system("gbmo-gpu", spec, paper_config(), 25);
 
     all_sp_slower &= sp.time_bench_100 > fu.time_bench_100;
     const double speedup = sp.time_bench_100 / ours_t.time_bench_100;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Strict pre-merge gate: configure with warnings-as-errors, build everything,
+# run the full test suite. Uses a separate build tree (build-check/) so the
+# -Werror flags don't dirty an existing developer build/.
+#
+#   $ scripts/check.sh            # or: cmake --build build --target check
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${GBMO_CHECK_BUILD_DIR:-$repo/build-check}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_CXX_FLAGS=-Werror
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+echo "check: OK (warnings-as-errors build + full test suite)"

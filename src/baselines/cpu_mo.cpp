@@ -16,6 +16,7 @@ CpuMoSystem::CpuMoSystem(core::TrainConfig config, bool sparse)
 
 void CpuMoSystem::fit(const data::Dataset& train) {
   core::GbmoBooster booster(config_, sim::DeviceSpec::cpu_server());
+  booster.set_sink(sink_);
   model_ = booster.fit(train);
   report_ = booster.report();
 }

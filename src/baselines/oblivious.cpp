@@ -42,6 +42,7 @@ void ObliviousBooster::fit(const data::Dataset& train) {
   n_outputs_ = d;
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
+  group.set_sink(sink_);
   report_ = core::TrainReport{};
 
   group.set_phase("setup");

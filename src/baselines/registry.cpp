@@ -1,4 +1,5 @@
-#include <algorithm>
+#include <functional>
+#include <utility>
 
 #include "baselines/cpu_mo.h"
 #include "baselines/oblivious.h"
@@ -7,19 +8,22 @@
 #include "baselines/system.h"
 #include "common/error.h"
 
-namespace gbmo::baselines {
+namespace gbmo {
 
 namespace {
 
-// "ours": the paper's system (core::GbmoBooster) behind the AnySystem
-// interface.
-class OursSystem final : public AnySystem {
+// "gbmo-gpu" (alias "ours"): the paper's system (core::GbmoBooster) behind
+// the TrainSystem interface.
+class OursSystem final : public TrainSystem {
  public:
   OursSystem(core::TrainConfig config, sim::DeviceSpec spec, sim::LinkSpec link)
       : booster_(config, std::move(spec), link) {}
 
   std::string name() const override { return "ours"; }
-  void fit(const data::Dataset& train) override { model_ = booster_.fit(train); }
+  void fit(const data::Dataset& train) override {
+    booster_.set_sink(sink_);
+    model_ = booster_.fit(train);
+  }
   std::vector<float> predict(const data::DenseMatrix& x) const override {
     return model_.predict(x);
   }
@@ -30,7 +34,102 @@ class OursSystem final : public AnySystem {
   core::Model model_;
 };
 
+using Factory = std::function<std::unique_ptr<TrainSystem>(
+    core::TrainConfig, sim::DeviceSpec, sim::LinkSpec)>;
+
+struct Entry {
+  SystemInfo info;
+  Factory make;
+};
+
+// Central table: one row per system, matched by canonical name or alias.
+// (Deliberately not self-registration from each translation unit — static
+// registrars in a static library are silently dropped by the linker when no
+// other symbol in their object file is referenced.)
+const std::vector<Entry>& entries() {
+  static const std::vector<Entry> table = {
+      {{"gbmo-gpu",
+        {"ours"},
+        "paper's GPU GBDT-MO system (core::GbmoBooster)",
+        /*gpu=*/true},
+       [](core::TrainConfig cfg, sim::DeviceSpec spec, sim::LinkSpec link) {
+         return std::make_unique<OursSystem>(cfg, std::move(spec), link);
+       }},
+      {{"xgboost",
+        {},
+        "GPU GBDT-SO: d level-wise single-output ensembles",
+        /*gpu=*/true},
+       [](core::TrainConfig cfg, sim::DeviceSpec spec, sim::LinkSpec link) {
+         return std::make_unique<baselines::SoBooster>(
+             cfg, baselines::SoVariant::kXgbLike, std::move(spec), link);
+       }},
+      {{"lightgbm",
+        {},
+        "GPU GBDT-SO: d leaf-wise single-output ensembles",
+        /*gpu=*/true},
+       [](core::TrainConfig cfg, sim::DeviceSpec spec, sim::LinkSpec link) {
+         return std::make_unique<baselines::SoBooster>(
+             cfg, baselines::SoVariant::kLgbLike, std::move(spec), link);
+       }},
+      {{"catboost",
+        {},
+        "GPU multi-output boosting with oblivious trees",
+        /*gpu=*/true},
+       [](core::TrainConfig cfg, sim::DeviceSpec spec, sim::LinkSpec link) {
+         return std::make_unique<baselines::ObliviousBooster>(
+             cfg, std::move(spec), link);
+       }},
+      {{"sketchboost",
+        {"sk-boost"},
+        "GBDT-MO with Top-K gradient sketching for split search",
+        /*gpu=*/true},
+       [](core::TrainConfig cfg, sim::DeviceSpec spec, sim::LinkSpec link) {
+         return std::make_unique<baselines::SketchBoostSystem>(
+             cfg, std::move(spec), link);
+       }},
+      {{"cpu-mo",
+        {"mo-fu"},
+        "GBDT-MO reference on CPU, dense feature storage",
+        /*gpu=*/false},
+       [](core::TrainConfig cfg, sim::DeviceSpec, sim::LinkSpec) {
+         return std::make_unique<baselines::CpuMoSystem>(cfg, /*sparse=*/false);
+       }},
+      {{"cpu-mo-sparse",
+        {"mo-sp"},
+        "GBDT-MO reference on CPU, CSC sparse storage",
+        /*gpu=*/false},
+       [](core::TrainConfig cfg, sim::DeviceSpec, sim::LinkSpec) {
+         return std::make_unique<baselines::CpuMoSystem>(cfg, /*sparse=*/true);
+       }},
+  };
+  return table;
+}
+
 }  // namespace
+
+const std::vector<SystemInfo>& registered_systems() {
+  static const std::vector<SystemInfo> infos = [] {
+    std::vector<SystemInfo> v;
+    for (const auto& e : entries()) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
+std::unique_ptr<TrainSystem> make_system(const std::string& name,
+                                         core::TrainConfig config,
+                                         sim::DeviceSpec spec, sim::LinkSpec link) {
+  for (const auto& e : entries()) {
+    if (e.info.name == name) return e.make(config, std::move(spec), link);
+    for (const auto& alias : e.info.aliases) {
+      if (alias == name) return e.make(config, std::move(spec), link);
+    }
+  }
+  GBMO_CHECK(false) << "unknown system: " << name;
+  throw Error("unreachable");
+}
+
+namespace baselines {
 
 std::vector<std::string> gpu_system_names() {
   return {"catboost", "lightgbm", "xgboost", "sk-boost", "ours"};
@@ -38,34 +137,6 @@ std::vector<std::string> gpu_system_names() {
 
 std::vector<std::string> cpu_system_names() { return {"mo-fu", "mo-sp"}; }
 
-std::unique_ptr<AnySystem> make_system(const std::string& name,
-                                       core::TrainConfig config,
-                                       sim::DeviceSpec spec, sim::LinkSpec link) {
-  if (name == "ours") {
-    return std::make_unique<OursSystem>(config, std::move(spec), link);
-  }
-  if (name == "xgboost") {
-    return std::make_unique<SoBooster>(config, SoVariant::kXgbLike,
-                                       std::move(spec), link);
-  }
-  if (name == "lightgbm") {
-    return std::make_unique<SoBooster>(config, SoVariant::kLgbLike,
-                                       std::move(spec), link);
-  }
-  if (name == "catboost") {
-    return std::make_unique<ObliviousBooster>(config, std::move(spec), link);
-  }
-  if (name == "sk-boost") {
-    return std::make_unique<SketchBoostSystem>(config, std::move(spec), link);
-  }
-  if (name == "mo-fu") {
-    return std::make_unique<CpuMoSystem>(config, /*sparse=*/false);
-  }
-  if (name == "mo-sp") {
-    return std::make_unique<CpuMoSystem>(config, /*sparse=*/true);
-  }
-  GBMO_CHECK(false) << "unknown system: " << name;
-  throw Error("unreachable");
-}
+}  // namespace baselines
 
-}  // namespace gbmo::baselines
+}  // namespace gbmo

@@ -36,6 +36,7 @@ void SketchBoostSystem::fit(const data::Dataset& train) {
   const int k_dims = std::min(top_k_, d);
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
+  group.set_sink(sink_);
   report_ = core::TrainReport{};
 
   group.set_phase("setup");
@@ -62,6 +63,7 @@ void SketchBoostSystem::fit(const data::Dataset& train) {
   grow_cfg.n_devices = 1;
   core::GrowerContext ctx = core::GrowerContext::create(binned, cuts, k_dims, grow_cfg);
   sim::DeviceGroup solo(spec_, 1, link_);
+  solo.set_sink(sink_);
   core::TreeGrower grower(solo, ctx);
 
   auto loss = core::Loss::default_for(train.task());

@@ -276,6 +276,7 @@ void SoBooster::fit(const data::Dataset& train) {
   n_outputs_ = d;
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
+  group.set_sink(sink_);
   report_ = core::TrainReport{};
 
   group.set_phase("setup");
@@ -306,6 +307,7 @@ void SoBooster::fit(const data::Dataset& train) {
   core::GrowerContext ctx =
       core::GrowerContext::create(binned, cuts, 1, grow_cfg);
   sim::DeviceGroup solo(spec_, 1, link_);
+  solo.set_sink(sink_);
 
   auto default_loss = core::Loss::default_for(train.task());
 

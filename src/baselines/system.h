@@ -1,16 +1,22 @@
-// Unified interface over every trainable system in the evaluation:
+// Unified training-system API over every trainable system in the evaluation:
 //
-//   ours      — the paper's GBDT-MO system (core::GbmoBooster)
-//   mo-fu     — GBDT-MO reference, CPU, dense storage   [Zhang & Jung 2020]
-//   mo-sp     — GBDT-MO reference, CPU, CSC storage
-//   xgboost   — GPU GBDT-SO: d level-wise single-output ensembles
-//   lightgbm  — GPU GBDT-SO: d leaf-wise single-output ensembles
-//   catboost  — GPU multi-output with oblivious (symmetric) trees
-//   sk-boost  — SketchBoost: GBDT-MO with Top-K output sketching
+//   gbmo-gpu      — the paper's GBDT-MO system (core::GbmoBooster)  [alias: ours]
+//   cpu-mo        — GBDT-MO reference, CPU, dense storage [Zhang & Jung 2020]
+//                   [alias: mo-fu]
+//   cpu-mo-sparse — GBDT-MO reference, CPU, CSC storage   [alias: mo-sp]
+//   xgboost       — GPU GBDT-SO: d level-wise single-output ensembles
+//   lightgbm      — GPU GBDT-SO: d leaf-wise single-output ensembles
+//   catboost      — GPU multi-output with oblivious (symmetric) trees
+//   sketchboost   — SketchBoost: GBDT-MO with Top-K output sketching
+//                   [alias: sk-boost]
 //
 // All baselines are re-implementations of the *algorithms* on the shared
 // simulated substrate, so the timing comparison isolates the algorithmic
 // strategy (see DESIGN.md §1 for why this matches the paper's evaluation).
+//
+// CLI, benches, examples and tests construct systems uniformly through
+// make_system(); registered_systems() is the single source of truth for what
+// exists (canonical name, accepted aliases, one-line description, CPU/GPU).
 #pragma once
 
 #include <memory>
@@ -21,12 +27,16 @@
 #include "core/config.h"
 #include "data/matrix.h"
 #include "sim/collectives.h"
+#include "sim/sink.h"
 
-namespace gbmo::baselines {
+namespace gbmo {
 
-class AnySystem {
+// Abstract training system: fit / predict / report / name. Every system in
+// the evaluation — the paper's GPU system and all baselines — implements
+// this, so callers never switch on concrete types.
+class TrainSystem {
  public:
-  virtual ~AnySystem() = default;
+  virtual ~TrainSystem() = default;
   virtual std::string name() const = 0;
 
   // Trains on the dataset; the report is valid afterwards.
@@ -37,21 +47,53 @@ class AnySystem {
 
   virtual const core::TrainReport& report() const = 0;
 
+  // Observability: the sink (e.g. obs::Profiler) is attached to every device
+  // group the system creates during fit(), receiving per-kernel events and
+  // pipeline spans. Attach before calling fit().
+  void set_sink(sim::StatsSink* sink) { sink_ = sink; }
+
   core::EvalResult evaluate(const data::Dataset& d) const {
     const auto scores = predict(d.x);
     return core::evaluate_primary(scores, d.y);
   }
+
+ protected:
+  sim::StatsSink* sink_ = nullptr;  // non-owning; null = no instrumentation
 };
 
-// Known system names, in the paper's table order.
-std::vector<std::string> gpu_system_names();  // catboost lightgbm xgboost sk-boost ours
-std::vector<std::string> cpu_system_names();  // mo-fu mo-sp
+// Registry entry for one constructible system.
+struct SystemInfo {
+  std::string name;                  // canonical make_system() name
+  std::vector<std::string> aliases;  // accepted alternates (paper-table names)
+  std::string description;
+  bool gpu = true;
+};
+
+// All constructible systems. make_system() accepts every canonical name and
+// every alias listed here.
+const std::vector<SystemInfo>& registered_systems();
 
 // Factory. The config's n_devices/multi_gpu fields apply to the GPU systems;
 // CPU systems ignore the device spec and run on the CPU cost model.
-std::unique_ptr<AnySystem> make_system(
+std::unique_ptr<TrainSystem> make_system(
     const std::string& name, core::TrainConfig config,
     sim::DeviceSpec spec = sim::DeviceSpec::rtx4090(),
     sim::LinkSpec link = sim::LinkSpec::pcie4());
 
-}  // namespace gbmo::baselines
+namespace baselines {
+
+// Back-compat spellings: the baselines namespace predates the unified
+// gbmo::TrainSystem API; existing call sites keep working unchanged.
+using AnySystem = ::gbmo::TrainSystem;
+using ::gbmo::TrainSystem;
+using ::gbmo::SystemInfo;
+using ::gbmo::make_system;
+using ::gbmo::registered_systems;
+
+// Known system names in the paper's table order (Table 2 / Table 4 rows).
+std::vector<std::string> gpu_system_names();  // catboost lightgbm xgboost sk-boost ours
+std::vector<std::string> cpu_system_names();  // mo-fu mo-sp
+
+}  // namespace baselines
+
+}  // namespace gbmo

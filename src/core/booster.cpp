@@ -82,6 +82,7 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   GBMO_CHECK(n > 0 && d >= 1);
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
+  group.set_sink(sink_);
   report_ = TrainReport{};
 
   // --- setup: quantization, binning, packing, transfers -------------------
@@ -91,6 +92,7 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   if (config_.warp_opt) binned.pack();
 
   {
+    sim::TraceSpan setup_span(group, "setup");
     // Binning kernel + host->device transfer of the (packed) bin matrix and
     // labels, charged per device (feature-parallel replicates rows; a
     // device's share of columns is what it receives, approximated as the
@@ -103,12 +105,14 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
       s.gmem_coalesced_bytes =
           static_cast<std::uint64_t>(n) * train.n_features() * (sizeof(float) + 1);
       s.flops = static_cast<std::uint64_t>(n) * train.n_features() * 8;  // search
-      dev.add_stats(s);
-      dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
-      dev.add_modeled_time(static_cast<double>(bin_bytes) /
-                               static_cast<double>(group.size()) /
-                               dev.spec().pcie_bandwidth +
-                           1e-4);
+      sim::charge_kernel(dev, "quantize_bin", s);
+      {
+        sim::KernelTag tag(dev, "h2d_transfer");
+        dev.add_modeled_time(static_cast<double>(bin_bytes) /
+                                 static_cast<double>(group.size()) /
+                                 dev.spec().pcie_bandwidth +
+                             1e-4);
+      }
       dev.note_alloc(bin_bytes / static_cast<std::size_t>(group.size()) +
                      n * static_cast<std::size_t>(d) * 4 * sizeof(float));
     }
@@ -117,10 +121,12 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   // Optional CSC view for the §3.2 level-sweep build path.
   std::unique_ptr<data::BinnedCscMatrix> csc;
   if (config_.csc_level_sweep) {
+    sim::TraceSpan csc_span(group, "csc_build");
     csc = std::make_unique<data::BinnedCscMatrix>(binned, cuts);
     for (int i = 0; i < group.size(); ++i) {
       auto& dev = group.device(i);
       dev.note_alloc(csc->byte_size() / static_cast<std::size_t>(group.size()));
+      sim::KernelTag tag(dev, "h2d_transfer");
       dev.add_modeled_time(static_cast<double>(csc->byte_size()) /
                            static_cast<double>(group.size()) /
                            dev.spec().pcie_bandwidth);
@@ -164,11 +170,16 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   std::size_t best_tree_count = 0;
 
   for (int t = 0; t < config_.n_trees; ++t) {
+    sim::TraceSpan tree_span(group, "tree " + std::to_string(t));
+    group.set_trace_tree(t);
     // Stage 1: gradients from the current predictions (replicated per device
     // — every device needs g/h for its feature columns' histogram work).
     group.set_phase("gradient");
-    for (int i = 0; i < group.size(); ++i) {
-      compute_gradients(group.device(i), *loss, scores, train.y, g, h);
+    {
+      sim::TraceSpan grad_span(group, "gradients");
+      for (int i = 0; i < group.size(); ++i) {
+        compute_gradients(group.device(i), *loss, scores, train.y, g, h);
+      }
     }
 
     // Row / feature sampling for this tree (stochastic boosting).
@@ -209,19 +220,20 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
       s.blocks = std::max<std::uint64_t>(1, routed / 256);
       s.gmem_random_accesses =
           routed * static_cast<std::uint64_t>(config_.max_depth) * 2;
-      auto& dev = group.device(0);
-      dev.add_stats(s);
-      dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+      sim::charge_kernel(group.device(0), "route_unsampled", s);
     }
 
     // Prediction update via training-time leaf assignment (§3.1.1).
     group.set_phase("update");
-    for (int i = 0; i < group.size(); ++i) {
-      // The kernel is replicated per device (feature-parallel keeps a full
-      // score copy everywhere); the host-side array is updated once.
-      update_scores_from_leaves(group.device(i), grown.tree, grown.leaf_of_row,
-                                scores, /*apply=*/i == 0);
-      if (config_.multi_gpu == MultiGpuMode::kDataParallel) break;
+    {
+      sim::TraceSpan update_span(group, "update");
+      for (int i = 0; i < group.size(); ++i) {
+        // The kernel is replicated per device (feature-parallel keeps a full
+        // score copy everywhere); the host-side array is updated once.
+        update_scores_from_leaves(group.device(i), grown.tree, grown.leaf_of_row,
+                                  scores, /*apply=*/i == 0);
+        if (config_.multi_gpu == MultiGpuMode::kDataParallel) break;
+      }
     }
 
     model.trees.push_back(std::move(grown.tree));
@@ -256,6 +268,7 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
     }
   }
 
+  group.set_trace_tree(-1);
   report_.modeled_seconds = group.max_modeled_seconds();
   report_.trees_trained = static_cast<int>(model.trees.size());
   report_.final_train_loss = loss->value(scores, train.y);

@@ -84,11 +84,17 @@ class GbmoBooster {
   const TrainReport& report() const { return report_; }
   const TrainConfig& config() const { return config_; }
 
+  // Optional observability sink (non-owning, e.g. obs::Profiler): attached to
+  // every device of the training group for the duration of fit(), receiving
+  // per-kernel events plus the setup/tree/level pipeline spans.
+  void set_sink(sim::StatsSink* sink) { sink_ = sink; }
+
  private:
   TrainConfig config_;
   sim::DeviceSpec spec_;
   sim::LinkSpec link_;
   TrainReport report_;
+  sim::StatsSink* sink_ = nullptr;
 };
 
 }  // namespace gbmo::core

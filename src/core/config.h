@@ -55,6 +55,44 @@ struct TrainConfig {
   int early_stopping_rounds = 0;
 
   std::uint64_t seed = 0;
+
+  // --- fluent builder ------------------------------------------------------
+  // Chainable setters so configurations read declaratively:
+  //
+  //   auto cfg = TrainConfig::defaults().trees(100).depth(7)
+  //                  .hist(HistMethod::kShared).devices(2);
+  //
+  // Plain aggregate use (`TrainConfig cfg; cfg.n_trees = 40;`) keeps working —
+  // the setters are sugar over the same public fields.
+  static TrainConfig defaults() { return TrainConfig{}; }
+
+  TrainConfig& trees(int n) { n_trees = n; return *this; }
+  TrainConfig& depth(int levels) { max_depth = levels; return *this; }
+  TrainConfig& eta(float lr) { learning_rate = lr; return *this; }
+  TrainConfig& min_instances(int n) { min_instances_per_node = n; return *this; }
+  TrainConfig& bins(int n) { max_bins = n; return *this; }
+  TrainConfig& l2(float lambda) { lambda_l2 = lambda; return *this; }
+  TrainConfig& min_gain(float gamma) { min_split_gain = gamma; return *this; }
+  TrainConfig& hist(HistMethod m) { hist_method = m; return *this; }
+  TrainConfig& warp_optimized(bool on = true) { warp_opt = on; return *this; }
+  TrainConfig& sparse_aware(bool on = true) { sparsity_aware = on; return *this; }
+  TrainConfig& csc_sweep(bool on = true) { csc_level_sweep = on; return *this; }
+  TrainConfig& subtraction(bool on = true) { sibling_subtraction = on; return *this; }
+  TrainConfig& devices(int n, MultiGpuMode mode = MultiGpuMode::kFeatureParallel) {
+    n_devices = n;
+    multi_gpu = mode;
+    return *this;
+  }
+  TrainConfig& row_subsample(double fraction) { subsample = fraction; return *this; }
+  TrainConfig& feature_subsample(double fraction) {
+    colsample_bytree = fraction;
+    return *this;
+  }
+  TrainConfig& early_stopping(int rounds) {
+    early_stopping_rounds = rounds;
+    return *this;
+  }
+  TrainConfig& rng_seed(std::uint64_t s) { seed = s; return *this; }
 };
 
 }  // namespace gbmo::core

@@ -17,7 +17,7 @@ void compute_gradients(sim::Device& dev, const Loss& loss,
   const int grid = sim::blocks_for(n, kBlock);
   const std::uint64_t loss_flops = loss.flops_per_instance(d);
 
-  sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+  sim::launch(dev, "compute_gradients", grid, kBlock, [&](sim::BlockCtx& blk) {
     blk.threads([&](int tid) {
       const std::size_t i =
           static_cast<std::size_t>(blk.block_id()) * kBlock + static_cast<std::size_t>(tid);
@@ -42,7 +42,7 @@ void reduce_gradients(sim::Device& dev, std::span<const float> g,
   constexpr int kBlock = 256;
   const int grid = sim::blocks_for(std::max<std::size_t>(rows.size(), 1), kBlock);
 
-  sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+  sim::launch(dev, "reduce_gradients", grid, kBlock, [&](sim::BlockCtx& blk) {
     // One block strides over its share of rows and accumulates into the
     // output with atomics after a warp-level partial reduction; functionally
     // we accumulate directly (blocks execute sequentially per host thread,

@@ -207,10 +207,7 @@ void TreeGrower::flush_leaf_charges() {
   group_.set_phase("leaf");
   pending_leaf_stats_.blocks = std::max<std::uint64_t>(
       1, pending_leaf_stats_.gmem_coalesced_bytes / (256 * sizeof(std::int32_t)));
-  auto& dev = group_.device(0);
-  dev.add_stats(pending_leaf_stats_);
-  dev.add_modeled_time(
-      sim::CostModel(dev.spec()).kernel_seconds(pending_leaf_stats_));
+  sim::charge_kernel(group_.device(0), "finalize_leaves", pending_leaf_stats_);
   pending_leaf_stats_ = sim::KernelStats{};
   has_pending_leaf_charges_ = false;
 }
@@ -289,6 +286,8 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
   };
 
   for (int level = 0; level < cfg.max_depth && !active.empty(); ++level) {
+    sim::TraceSpan level_span(group_, "level " + std::to_string(level));
+    group_.set_trace_level(level);
     const std::size_t level_bytes = active.size() * ctx_.layout.byte_size();
     const bool subtract_mode =
         cfg.sibling_subtraction &&
@@ -498,10 +497,8 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       group_.set_phase("partition");
       level_partition_stats.blocks =
           std::max<std::uint64_t>(1, level_partition_rows / 256);
-      auto& dev = group_.device(0);
-      dev.add_stats(level_partition_stats);
-      dev.add_modeled_time(
-          sim::CostModel(dev.spec()).kernel_seconds(level_partition_stats));
+      sim::charge_kernel(group_.device(0), "partition_rows",
+                         level_partition_stats);
       if (group_.size() > 1 && cfg.multi_gpu == MultiGpuMode::kFeatureParallel) {
         // Owners broadcast the level's left/right bitmaps in one exchange.
         group_.charge_broadcast(level_partition_rows / 8 + 1, 0);
@@ -509,6 +506,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
     }
     active = std::move(next);
   }
+  group_.set_trace_level(-1);
 
   // Defensive: every remaining active node becomes a leaf (cannot normally
   // happen — routing above finalizes depth-limited children).

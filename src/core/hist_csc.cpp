@@ -35,7 +35,7 @@ void build_level_histograms_csc(sim::Device& dev,
   }
   if (grid == 0) grid = 1;
 
-  sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+  sim::launch(dev, "hist_csc_sweep", grid, kBlock, [&](sim::BlockCtx& blk) {
     // The functional sweep runs once (block 0); the launch geometry above
     // carries the parallel shape for the cost model.
     if (blk.block_id() != 0) return;

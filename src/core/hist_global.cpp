@@ -21,13 +21,15 @@ class GlobalBuilder final : public HistogramBuilder {
     const auto& layout = *in.layout;
     const int d = layout.n_outputs();
     const std::size_t n_rows = in.node_rows.size();
-    if (in.packed) GBMO_CHECK(in.bins->packed());
+    if (in.packed) {
+      GBMO_CHECK(in.bins->packed());
+    }
 
     constexpr int kBlock = 256;
     const int chunks = std::max(1, sim::blocks_for(n_rows, kBlock));
     const int grid = static_cast<int>(in.features.size()) * chunks;
 
-    sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "hist_gmem", grid, kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t fi = static_cast<std::size_t>(blk.block_id()) /
                              static_cast<std::size_t>(chunks);
       const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %

@@ -27,7 +27,9 @@ class SharedBuilder final : public HistogramBuilder {
     const auto& layout = *in.layout;
     const int d = layout.n_outputs();
     const std::size_t n_rows = in.node_rows.size();
-    if (in.packed) GBMO_CHECK(in.bins->packed());
+    if (in.packed) {
+      GBMO_CHECK(in.bins->packed());
+    }
 
     // Tile geometry: how many bins (x d outputs x GradPair) fit in shared
     // memory. Every output of a bin lives in the same tile so the flush is a
@@ -73,7 +75,7 @@ class SharedBuilder final : public HistogramBuilder {
     std::vector<sim::GradPair> tile;
     std::vector<std::uint32_t> tile_counts;
 
-    sim::launch(dev, grid, 256, [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "hist_smem", grid, 256, [&](sim::BlockCtx& blk) {
       const BlockJob job = jobs[static_cast<std::size_t>(blk.block_id())];
       const std::uint32_t f = in.features[job.feature_idx];
       const std::uint8_t zb = layout.zero_bin(f);

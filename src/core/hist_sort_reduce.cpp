@@ -25,7 +25,9 @@ class SortReduceBuilder final : public HistogramBuilder {
     const auto& layout = *in.layout;
     const int d = layout.n_outputs();
     const std::size_t n_rows = in.node_rows.size();
-    if (in.packed) GBMO_CHECK(in.bins->packed());
+    if (in.packed) {
+      GBMO_CHECK(in.bins->packed());
+    }
 
     // Phase 1: key construction kernel — one thread per (row, feature).
     std::vector<std::uint64_t> keys;
@@ -37,7 +39,7 @@ class SortReduceBuilder final : public HistogramBuilder {
     const int chunks = std::max(1, sim::blocks_for(n_rows, kBlock));
     const int grid = static_cast<int>(in.features.size()) * chunks;
 
-    sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "hist_sort_keys", grid, kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t fi = static_cast<std::size_t>(blk.block_id()) /
                              static_cast<std::size_t>(chunks);
       const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %
@@ -66,6 +68,7 @@ class SortReduceBuilder final : public HistogramBuilder {
 
     const std::uint64_t n_pairs = keys.size();
     {
+      sim::KernelTag tag(dev, "hist_sort_keys");
       sim::KernelStats s;
       s.blocks = std::max<std::uint64_t>(1, n_pairs / 256);
       s.gmem_coalesced_bytes =
@@ -80,8 +83,8 @@ class SortReduceBuilder final : public HistogramBuilder {
     // gradient reduction is a gather over the sorted order — one pass that
     // accumulates run sums directly into the histogram (the real kernel uses
     // reduce_by_key per output; the data volume is identical).
-    sim::launch(dev, std::max(1, sim::blocks_for(n_pairs, kBlock)), kBlock,
-                [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "hist_sort_reduce", std::max(1, sim::blocks_for(n_pairs, kBlock)),
+                kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t lo = static_cast<std::size_t>(blk.block_id()) * kBlock;
       const std::size_t hi = std::min<std::size_t>(n_pairs, lo + kBlock);
       std::uint64_t accum = 0;
@@ -113,6 +116,7 @@ class SortReduceBuilder final : public HistogramBuilder {
     // One kernel launch per output dimension's reduce pass (the single
     // launch() above accounted for one of them).
     if (d > 1) {
+      sim::KernelTag tag(dev, "hist_sort_reduce");
       dev.add_modeled_time((d - 1) * dev.spec().kernel_launch_s);
     }
 

@@ -107,8 +107,7 @@ void subtract_histograms(sim::Device& dev, const HistogramLayout& layout,
   s.blocks = std::max<std::uint64_t>(1, slots / 256);
   s.gmem_coalesced_bytes = slots * sizeof(sim::GradPair) * 3;
   s.flops = slots * 2;
-  dev.add_stats(s);
-  dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+  sim::charge_kernel(dev, "hist_subtract", s);
 }
 
 }  // namespace gbmo::core

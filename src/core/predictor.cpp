@@ -13,8 +13,8 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
   GBMO_CHECK(scores.size() == n * static_cast<std::size_t>(d));
 
   constexpr int kBlock = 256;
-  sim::launch(dev, std::max(1, sim::blocks_for(n, kBlock)), kBlock,
-              [&](sim::BlockCtx& blk) {
+  sim::launch(dev, "update_scores", std::max(1, sim::blocks_for(n, kBlock)),
+              kBlock, [&](sim::BlockCtx& blk) {
     blk.threads([&](int tid) {
       const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                             static_cast<std::size_t>(tid);
@@ -74,7 +74,7 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
     // concurrently. Scores are accumulated with atomics on real hardware;
     // the sequential block order here makes the plain add exact.
     const int grid = static_cast<int>(trees.size()) * chunks;
-    sim::launch(dev, grid, kBlock, [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "predict_trees", grid, kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t t = static_cast<std::size_t>(blk.block_id()) /
                             static_cast<std::size_t>(chunks);
       const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %
@@ -93,7 +93,7 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
 
   // Instance-parallel: one launch per tree, one thread per instance.
   for (const auto& tree : trees) {
-    sim::launch(dev, chunks, kBlock, [&](sim::BlockCtx& blk) {
+    sim::launch(dev, "predict_trees", chunks, kBlock, [&](sim::BlockCtx& blk) {
       blk.threads([&](int tid) {
         const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                               static_cast<std::size_t>(tid);
@@ -117,8 +117,8 @@ void CachedPredictor::append_tree(const Tree& tree) {
   GBMO_CHECK(tree.n_outputs() == n_outputs_);
   std::vector<std::int32_t> leaf_map(x_.n_rows());
   constexpr int kBlock = 256;
-  sim::launch(dev_, std::max(1, sim::blocks_for(x_.n_rows(), kBlock)), kBlock,
-              [&](sim::BlockCtx& blk) {
+  sim::launch(dev_, "predict_cached", std::max(1, sim::blocks_for(x_.n_rows(), kBlock)),
+              kBlock, [&](sim::BlockCtx& blk) {
     blk.threads([&](int tid) {
       const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                             static_cast<std::size_t>(tid);

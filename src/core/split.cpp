@@ -122,8 +122,7 @@ std::vector<SplitResult> find_best_splits(
     s.gmem_coalesced_bytes = total_slots * sizeof(sim::GradPair) +
                              total_bins * (sizeof(float) + sizeof(std::uint32_t));
     s.flops = total_slots * 6;
-    dev.add_stats(s);
-    dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(s));
+    sim::charge_kernel(dev, "split_gain", s);
   }
 
   // --- 4. one segmented reduction over every (node, feature) segment with

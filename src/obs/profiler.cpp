@@ -1,0 +1,222 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "sim/cost_model.h"
+
+namespace gbmo::obs {
+
+namespace {
+
+// Total bytes a kernel moved through device memory (random accesses are one
+// 32-byte transaction each; library primitives report their own volumes).
+std::uint64_t bytes_moved(const sim::KernelStats& s) {
+  return s.gmem_coalesced_bytes + s.gmem_random_accesses * 32 +
+         s.sort_pairs_bytes + s.scan_bytes;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Profiler::on_event(const sim::KernelEvent& e) {
+  KernelProfile& k = kernels_[*e.name];
+  if (k.name.empty()) k.name = *e.name;
+  k.stats += e.stats;
+  if (e.seconds > 0.0) {
+    ++k.events;
+    k.seconds += e.seconds;
+    k.phase_seconds[*e.phase] += e.seconds;
+    device_seconds_[e.device] += e.seconds;
+    if (capture_trace_) {
+      TraceEvent t;
+      t.name = *e.name;
+      t.ph = 'X';
+      t.ts_us = (e.t_end - e.seconds) * 1e6;
+      t.dur_us = e.seconds * 1e6;
+      t.tid = e.device + 1;
+      t.tree = e.tree;
+      t.level = e.level;
+      t.phase = *e.phase;
+      trace_.push_back(std::move(t));
+    }
+  }
+}
+
+void Profiler::on_span_begin(const std::string& name, double ts) {
+  span_stack_.push_back(name);
+  if (!capture_trace_) return;
+  TraceEvent t;
+  t.name = name;
+  t.ph = 'B';
+  t.ts_us = ts * 1e6;
+  t.tid = 0;
+  trace_.push_back(std::move(t));
+}
+
+void Profiler::on_span_end(double ts) {
+  GBMO_CHECK(!span_stack_.empty()) << "span end without matching begin";
+  std::string name = std::move(span_stack_.back());
+  span_stack_.pop_back();
+  if (!capture_trace_) return;
+  TraceEvent t;
+  t.name = std::move(name);
+  t.ph = 'E';
+  t.ts_us = ts * 1e6;
+  t.tid = 0;
+  trace_.push_back(std::move(t));
+}
+
+sim::KernelStats Profiler::total_stats() const {
+  sim::KernelStats total;
+  for (const auto& [name, k] : kernels_) total += k.stats;
+  return total;
+}
+
+double Profiler::total_seconds() const {
+  double s = 0.0;
+  for (const auto& [name, k] : kernels_) s += k.seconds;
+  return s;
+}
+
+double Profiler::device_seconds(int device) const {
+  auto it = device_seconds_.find(device);
+  return it == device_seconds_.end() ? 0.0 : it->second;
+}
+
+double Profiler::max_device_seconds() const {
+  double m = 0.0;
+  for (const auto& [dev, s] : device_seconds_) m = std::max(m, s);
+  return m;
+}
+
+std::string Profiler::chrome_trace_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  // Track-name metadata so chrome://tracing labels the rows.
+  os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"pipeline\"}}";
+  for (const auto& [dev, s] : device_seconds_) {
+    (void)s;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << (dev + 1) << ",\"args\":{\"name\":\"device " << dev << "\"}}";
+  }
+  for (const TraceEvent& t : trace_) {
+    os << ",\n{\"name\":\"" << json_escape(t.name) << "\",\"ph\":\"" << t.ph
+       << "\",\"ts\":" << t.ts_us << ",\"pid\":0,\"tid\":" << t.tid;
+    if (t.ph == 'X') {
+      os << ",\"dur\":" << t.dur_us << ",\"args\":{\"phase\":\""
+         << json_escape(t.phase) << "\"";
+      if (t.tree >= 0) os << ",\"tree\":" << t.tree;
+      if (t.level >= 0) os << ",\"level\":" << t.level;
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void Profiler::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  GBMO_CHECK(out.good()) << "cannot open trace output file: " << path;
+  out << chrome_trace_json();
+}
+
+std::string Profiler::profile_table(const sim::DeviceSpec* spec) const {
+  std::vector<const KernelProfile*> rows;
+  rows.reserve(kernels_.size());
+  for (const auto& [name, k] : kernels_) rows.push_back(&k);
+  std::sort(rows.begin(), rows.end(), [](const KernelProfile* a, const KernelProfile* b) {
+    return a->seconds > b->seconds;
+  });
+  const double total = total_seconds();
+
+  std::vector<std::string> header = {"kernel",  "phase",    "launches",
+                                     "ms",      "%",        "GB moved",
+                                     "atomics", "conflict%"};
+  if (spec != nullptr) {
+    header.push_back("blk/launch");
+    header.push_back("occ");
+  }
+  TextTable table(std::move(header));
+
+  for (const KernelProfile* k : rows) {
+    std::string phase = "-";
+    double best = -1.0;
+    for (const auto& [p, s] : k->phase_seconds) {
+      if (s > best) {
+        best = s;
+        phase = p;
+      }
+    }
+    const std::uint64_t atomics =
+        k->stats.atomic_global_ops + k->stats.atomic_shared_ops;
+    const std::uint64_t conflicts =
+        k->stats.atomic_global_conflicts + k->stats.atomic_shared_conflicts;
+    std::vector<std::string> row = {
+        k->name,
+        phase,
+        std::to_string(k->events),
+        TextTable::num(k->seconds * 1e3, 3),
+        TextTable::num(total > 0.0 ? 100.0 * k->seconds / total : 0.0, 1),
+        TextTable::num(static_cast<double>(bytes_moved(k->stats)) / 1e9, 3),
+        std::to_string(atomics),
+        TextTable::num(atomics > 0 ? 100.0 * static_cast<double>(conflicts) /
+                                         static_cast<double>(atomics)
+                                   : 0.0,
+                       1),
+    };
+    if (spec != nullptr) {
+      const double blk = k->events > 0 ? static_cast<double>(k->stats.blocks) /
+                                             static_cast<double>(k->events)
+                                       : 0.0;
+      row.push_back(TextTable::num(blk, 1));
+      row.push_back(TextTable::num(
+          sim::CostModel(*spec).occupancy(
+              static_cast<std::uint64_t>(blk > 0.0 ? blk : 1.0)),
+          2));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::ostringstream os;
+  table.print(os);
+  os << "total modeled: " << TextTable::num(total * 1e3, 3) << " ms over "
+     << kernels_.size() << " kernels\n";
+  return os.str();
+}
+
+void Profiler::clear() {
+  kernels_.clear();
+  device_seconds_.clear();
+  trace_.clear();
+  span_stack_.clear();
+}
+
+}  // namespace gbmo::obs

@@ -60,14 +60,14 @@ class DeviceBuffer {
   void copy_from_host(std::span<const T> host) {
     GBMO_CHECK(host.size() == data_.size());
     std::memcpy(data_.data(), host.data(), host.size_bytes());
-    charge_transfer(host.size_bytes());
+    charge_transfer("h2d_copy", host.size_bytes());
   }
 
   // Device -> host copy; charged at PCIe bandwidth.
   void copy_to_host(std::span<T> host) const {
     GBMO_CHECK(host.size() == data_.size());
     std::memcpy(host.data(), data_.data(), host.size_bytes());
-    charge_transfer(host.size_bytes());
+    charge_transfer("d2h_copy", host.size_bytes());
   }
 
   std::span<T> span() { return {data_.data(), data_.size()}; }
@@ -82,8 +82,9 @@ class DeviceBuffer {
   Device* device() const { return dev_; }
 
  private:
-  void charge_transfer(std::size_t bytes) const {
+  void charge_transfer(const char* name, std::size_t bytes) const {
     if (dev_ != nullptr && bytes > 0) {
+      KernelTag tag(*dev_, name);
       dev_->add_modeled_time(1e-5 + static_cast<double>(bytes) / dev_->spec().pcie_bandwidth);
     }
   }

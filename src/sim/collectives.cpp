@@ -30,10 +30,16 @@ void DeviceGroup::reset_time() {
   for (auto& d : devices_) d->reset_time();
 }
 
-void DeviceGroup::charge_all(double seconds) {
+void DeviceGroup::set_sink(StatsSink* sink) {
+  sink_ = sink;
+  for (auto& d : devices_) d->set_sink(sink);
+}
+
+void DeviceGroup::charge_all(const char* name, double seconds) {
   // Collective time is always attributed to the "comm" phase, whatever
   // pipeline phase the devices are in when the exchange happens.
   for (auto& d : devices_) {
+    KernelTag tag(*d, name);
     const std::string phase = d->phase();
     d->set_phase("comm");
     d->add_modeled_time(seconds);
@@ -61,7 +67,7 @@ void DeviceGroup::all_reduce_sum(std::vector<std::span<float>> per_device) {
   // latency hops.
   const double bytes = static_cast<double>(n) * sizeof(float);
   const double t = 2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency);
-  charge_all(t);
+  charge_all("ring_all_reduce", t);
 }
 
 void DeviceGroup::all_reduce_sum_u32(
@@ -81,7 +87,7 @@ void DeviceGroup::all_reduce_sum_u32(
   const int k = size();
   if (k == 1) return;
   const double bytes = static_cast<double>(n) * sizeof(std::uint32_t);
-  charge_all(2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency));
+  charge_all("ring_all_reduce", 2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency));
 }
 
 void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
@@ -104,7 +110,7 @@ void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
   if (k == 1) return;
   const double bytes = static_cast<double>(total) * sizeof(float);
   const double t = (k - 1) * (bytes / k / link_.bandwidth + link_.latency);
-  charge_all(t);
+  charge_all("all_gather", t);
 }
 
 void DeviceGroup::charge_broadcast(std::size_t bytes, int root) {
@@ -113,7 +119,7 @@ void DeviceGroup::charge_broadcast(std::size_t bytes, int root) {
   if (k == 1) return;
   const double hops = std::ceil(std::log2(static_cast<double>(k)));
   const double t = hops * (static_cast<double>(bytes) / link_.bandwidth + link_.latency);
-  charge_all(t);
+  charge_all("broadcast", t);
 }
 
 BestSplitMsg DeviceGroup::all_reduce_best_split(
@@ -130,7 +136,8 @@ BestSplitMsg DeviceGroup::all_reduce_best_split(
   const int k = size();
   if (k > 1) {
     const double hops = 2.0 * std::ceil(std::log2(static_cast<double>(k)));
-    charge_all(hops * (sizeof(BestSplitMsg) / link_.bandwidth + link_.latency));
+    charge_all("best_split_reduce",
+               hops * (sizeof(BestSplitMsg) / link_.bandwidth + link_.latency));
   }
   return best;
 }

@@ -46,6 +46,18 @@ class DeviceGroup {
   double max_modeled_seconds() const;
   void reset_time();
 
+  // --- observability -------------------------------------------------------
+  // Attach a sink to every device in the group and remember it so pipeline
+  // spans (sim::TraceSpan) can be emitted at group-level timestamps.
+  void set_sink(StatsSink* sink);
+  StatsSink* sink() const { return sink_; }
+  void set_trace_tree(int tree) {
+    for (auto& d : devices_) d->set_trace_tree(tree);
+  }
+  void set_trace_level(int level) {
+    for (auto& d : devices_) d->set_trace_level(level);
+  }
+
   // Element-wise sum across per-device buffers (all same length); every
   // device ends with the reduced values. Ring all-reduce cost.
   void all_reduce_sum(std::vector<std::span<float>> per_device);
@@ -65,10 +77,32 @@ class DeviceGroup {
   BestSplitMsg all_reduce_best_split(std::span<const BestSplitMsg> per_device);
 
  private:
-  void charge_all(double seconds);
+  void charge_all(const char* name, double seconds);
 
   std::vector<std::unique_ptr<Device>> devices_;
   LinkSpec link_;
+  StatsSink* sink_ = nullptr;
+};
+
+// RAII pipeline span: brackets a region of the training loop with
+// on_span_begin/on_span_end events at group-level modeled timestamps
+// (max over devices, which is monotone, so spans nest correctly in the
+// Chrome trace). No-op when the group has no sink attached.
+class TraceSpan {
+ public:
+  TraceSpan(DeviceGroup& group, std::string name) : group_(group) {
+    if (group_.sink()) {
+      group_.sink()->on_span_begin(name, group_.max_modeled_seconds());
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (group_.sink()) group_.sink()->on_span_end(group_.max_modeled_seconds());
+  }
+
+ private:
+  DeviceGroup& group_;
 };
 
 }  // namespace gbmo::sim

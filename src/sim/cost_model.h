@@ -43,4 +43,14 @@ class CostModel {
   const DeviceSpec& spec_;
 };
 
+// Charges one named kernel to `dev`: counters plus the cost model's modeled
+// seconds, delivered to any attached sink as a single tagged event. This is
+// the named form of the ubiquitous `add_stats` + `add_modeled_time` pair.
+inline double charge_kernel(Device& dev, const char* name, const KernelStats& s) {
+  KernelTag tag(dev, name);
+  const double seconds = CostModel(dev.spec()).kernel_seconds(s);
+  dev.charge_kernel(s, seconds);
+  return seconds;
+}
+
 }  // namespace gbmo::sim

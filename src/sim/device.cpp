@@ -65,6 +65,32 @@ DeviceSpec DeviceSpec::cpu_server() {
 void Device::add_modeled_time(double seconds) {
   modeled_seconds_ += seconds;
   phase_seconds_[phase_] += seconds;
+  if (sink_) emit(KernelStats{}, seconds);
+}
+
+void Device::add_stats(const KernelStats& s) {
+  total_stats_ += s;
+  if (sink_) emit(s, 0.0);
+}
+
+void Device::charge_kernel(const KernelStats& s, double seconds) {
+  total_stats_ += s;
+  modeled_seconds_ += seconds;
+  phase_seconds_[phase_] += seconds;
+  if (sink_) emit(s, seconds);
+}
+
+void Device::emit(const KernelStats& s, double seconds) {
+  KernelEvent e;
+  e.name = &kernel_;
+  e.phase = &phase_;
+  e.device = id_;
+  e.tree = tree_;
+  e.level = level_;
+  e.stats = s;
+  e.seconds = seconds;
+  e.t_end = modeled_seconds_;
+  sink_->on_event(e);
 }
 
 void Device::reset_time() {

@@ -9,8 +9,10 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "sim/counters.h"
+#include "sim/sink.h"
 
 namespace gbmo::sim {
 
@@ -64,8 +66,24 @@ class Device {
   void reset_time();
 
   // --- cumulative event counters -----------------------------------------
-  void add_stats(const KernelStats& s) { total_stats_ += s; }
+  void add_stats(const KernelStats& s);
   const KernelStats& total_stats() const { return total_stats_; }
+  // Counters + modeled time in one call: the charge reaches an attached sink
+  // as a single event (one kernel launch / primitive / transfer).
+  void charge_kernel(const KernelStats& s, double seconds);
+
+  // --- observability -------------------------------------------------------
+  // Optional per-kernel event sink (non-owning; see sim/sink.h). Every
+  // charge is forwarded tagged with the current kernel label, phase and
+  // (tree, level) context.
+  void set_sink(StatsSink* sink) { sink_ = sink; }
+  StatsSink* sink() const { return sink_; }
+  void set_kernel(std::string name) { kernel_ = std::move(name); }
+  const std::string& kernel() const { return kernel_; }
+  void set_trace_tree(int tree) { tree_ = tree; }
+  void set_trace_level(int level) { level_ = level; }
+  int trace_tree() const { return tree_; }
+  int trace_level() const { return level_; }
 
   // --- memory accounting ---------------------------------------------------
   // DeviceBuffer reports allocations; exceeding the spec's capacity throws
@@ -79,6 +97,8 @@ class Device {
   }
 
  private:
+  void emit(const KernelStats& s, double seconds);
+
   DeviceSpec spec_;
   int id_;
   std::string phase_ = "unattributed";
@@ -87,6 +107,27 @@ class Device {
   KernelStats total_stats_;
   std::size_t allocated_ = 0;
   std::size_t peak_allocated_ = 0;
+  StatsSink* sink_ = nullptr;
+  std::string kernel_ = "unattributed";
+  int tree_ = -1;
+  int level_ = -1;
+};
+
+// RAII kernel label: names every charge made against `dev` while in scope,
+// restoring the previous label on exit (so nested primitives that tag
+// themselves win over the caller's coarser label).
+class KernelTag {
+ public:
+  KernelTag(Device& dev, const char* name) : dev_(dev), prev_(dev.kernel()) {
+    dev_.set_kernel(name);
+  }
+  KernelTag(const KernelTag&) = delete;
+  KernelTag& operator=(const KernelTag&) = delete;
+  ~KernelTag() { dev_.set_kernel(std::move(prev_)); }
+
+ private:
+  Device& dev_;
+  std::string prev_;
 };
 
 // Thrown when a simulated allocation exceeds device memory; the bench

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -99,9 +100,17 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
   LaunchResult res;
   res.stats = merged;
   res.modeled_seconds = CostModel(dev.spec()).kernel_seconds(merged);
-  dev.add_stats(merged);
-  dev.add_modeled_time(res.modeled_seconds);
+  dev.charge_kernel(merged, res.modeled_seconds);
   return res;
+}
+
+// Named launch: tags the charge with `name` for the observability layer so
+// per-kernel profiles attribute it instead of lumping it as "unattributed".
+template <typename Kernel>
+LaunchResult launch(Device& dev, const char* name, int grid_dim, int block_dim,
+                    Kernel&& kernel) {
+  KernelTag tag(dev, name);
+  return launch(dev, grid_dim, block_dim, std::forward<Kernel>(kernel));
 }
 
 // Convenience geometry helper: one thread per element.

@@ -13,12 +13,12 @@ namespace {
 
 // Charges a library primitive to the device: a synthetic kernel record with
 // the given byte volume in the bandwidth-bound "sort" bucket.
-void charge_pass_bytes(Device& dev, std::uint64_t bytes, std::uint64_t items) {
+void charge_pass_bytes(Device& dev, const char* name, std::uint64_t bytes,
+                       std::uint64_t items) {
   KernelStats s;
   s.blocks = std::max<std::uint64_t>(1, items / 256);
   s.sort_pairs_bytes = bytes;
-  dev.add_stats(s);
-  dev.add_modeled_time(CostModel(dev.spec()).kernel_seconds(s));
+  charge_kernel(dev, name, s);
 }
 
 int radix_passes_for(std::uint64_t max_key) {
@@ -68,7 +68,8 @@ void sort_pairs(Device& dev, std::vector<std::uint64_t>& keys,
   // pass costs.
   const std::uint64_t pair_bytes =
       static_cast<std::uint64_t>(n) * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
-  charge_pass_bytes(dev, static_cast<std::uint64_t>(passes) * pair_bytes * 5 / 2, n);
+  charge_pass_bytes(dev, "radix_sort", static_cast<std::uint64_t>(passes) * pair_bytes * 5 / 2, n);
+  KernelTag tag(dev, "radix_sort");
   dev.add_modeled_time(static_cast<double>(n) * passes / dev.spec().sort_throughput +
                        3.0 * passes * dev.spec().kernel_launch_s);
 }
@@ -92,7 +93,7 @@ std::size_t reduce_by_key(Device& dev, std::span<const std::uint64_t> keys,
       static_cast<std::uint64_t>(keys.size()) * (sizeof(std::uint64_t) + sizeof(GradPair)) +
       static_cast<std::uint64_t>(out_keys.size()) *
           (sizeof(std::uint64_t) + sizeof(GradPair));
-  charge_pass_bytes(dev, bytes, keys.size());
+  charge_pass_bytes(dev, "reduce_by_key", bytes, keys.size());
   return out_keys.size();
 }
 
@@ -115,8 +116,7 @@ void scan_impl(Device& dev, std::span<const float> in, std::span<float> out) {
   KernelStats s;
   s.blocks = std::max<std::uint64_t>(1, in.size() / 256);
   s.scan_bytes = static_cast<std::uint64_t>(in.size()) * sizeof(float) * 4;
-  dev.add_stats(s);
-  dev.add_modeled_time(CostModel(dev.spec()).kernel_seconds(s));
+  charge_kernel(dev, "scan", s);
 }
 
 }  // namespace
@@ -145,8 +145,7 @@ void segmented_inclusive_scan(Device& dev, std::span<const GradPair> values,
   KernelStats s;
   s.blocks = std::max<std::uint64_t>(1, values.size() / 256);
   s.scan_bytes = static_cast<std::uint64_t>(values.size()) * sizeof(GradPair) * 2;
-  dev.add_stats(s);
-  dev.add_modeled_time(CostModel(dev.spec()).kernel_seconds(s));
+  charge_kernel(dev, "segmented_scan", s);
 }
 
 void segmented_arg_max(Device& dev, std::span<const float> values,
@@ -177,8 +176,7 @@ void segmented_arg_max(Device& dev, std::span<const float> values,
       1, static_cast<std::uint64_t>(std::ceil(n_segments / spb)));
   s.gmem_coalesced_bytes = static_cast<std::uint64_t>(values.size()) * sizeof(float);
   s.flops = values.size();
-  dev.add_stats(s);
-  dev.add_modeled_time(CostModel(dev.spec()).kernel_seconds(s));
+  charge_kernel(dev, "segmented_arg_max", s);
 }
 
 ArgMax arg_max(Device& dev, std::span<const float> values) {
@@ -190,8 +188,7 @@ ArgMax arg_max(Device& dev, std::span<const float> values) {
   s.blocks = std::max<std::uint64_t>(1, values.size() / 256);
   s.gmem_coalesced_bytes = static_cast<std::uint64_t>(values.size()) * sizeof(float);
   s.flops = values.size();
-  dev.add_stats(s);
-  dev.add_modeled_time(CostModel(dev.spec()).kernel_seconds(s));
+  charge_kernel(dev, "arg_max", s);
   return best;
 }
 

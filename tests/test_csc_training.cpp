@@ -41,7 +41,9 @@ TEST(BinnedCscTest, StorageInvariants) {
     ASSERT_EQ(rows.size(), bins.size());
     stored += rows.size();
     for (std::size_t i = 0; i < rows.size(); ++i) {
-      if (i + 1 < rows.size()) EXPECT_LT(rows[i], rows[i + 1]);
+      if (i + 1 < rows.size()) {
+        EXPECT_LT(rows[i], rows[i + 1]);
+      }
       // Every stored entry matches the dense bin and is not the zero bin.
       EXPECT_EQ(bins[i], binned.bin(rows[i], f));
       EXPECT_NE(bins[i], csc.zero_bin(f));

@@ -105,7 +105,9 @@ TEST(EdgeCases, ExactlyMinimumSplittableNode) {
   for (const auto& tree : model.trees) {
     EXPECT_LE(tree.n_leaves(), 2u);
     for (std::size_t i = 0; i < tree.n_nodes(); ++i) {
-      if (tree.node(i).is_leaf()) EXPECT_GE(tree.node(i).n_instances, 5u);
+      if (tree.node(i).is_leaf()) {
+        EXPECT_GE(tree.node(i).n_instances, 5u);
+      }
     }
   }
 }

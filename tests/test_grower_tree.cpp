@@ -121,7 +121,9 @@ TEST(GrowerTest, RespectsDepthAndMinInstances) {
   EXPECT_LE(grown.tree.n_leaves(), 4u);
   for (std::size_t id = 0; id < grown.tree.n_nodes(); ++id) {
     const auto& node = grown.tree.node(id);
-    if (node.is_leaf()) EXPECT_GE(node.n_instances, 30u / 2);
+    if (node.is_leaf()) {
+      EXPECT_GE(node.n_instances, 30u / 2);
+    }
   }
 }
 

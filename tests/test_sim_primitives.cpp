@@ -38,7 +38,9 @@ TEST_P(SortPairsTest, MatchesStableSort) {
     EXPECT_EQ(keys[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)].first);
     EXPECT_EQ(vals[static_cast<std::size_t>(i)], expected[static_cast<std::size_t>(i)].second);
   }
-  if (n > 0) EXPECT_GT(dev.modeled_seconds(), 0.0);
+  if (n > 0) {
+    EXPECT_GT(dev.modeled_seconds(), 0.0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,7 @@
 #include "baselines/system.h"
 #include "common/table.h"
 #include "core/booster.h"
+#include "obs/profiler.h"
 #include "core/importance.h"
 #include "core/model_io.h"
 #include "data/io.h"
@@ -31,8 +32,11 @@ class Args {
       if (a.rfind("--", 0) != 0) {
         throw Error("unexpected positional argument: " + a);
       }
-      const std::string key = a.substr(2);
-      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+      std::string key = a.substr(2);
+      // Both spellings work: --key value and --key=value.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        values_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
         values_[key] = argv[++i];
       } else {
         values_[key] = "";  // boolean flag
@@ -149,6 +153,32 @@ core::TrainConfig parse_train_config(const Args& args) {
   return cfg;
 }
 
+// --profile / --trace-out handling, shared by train, bench and compare.
+struct ProfileOptions {
+  bool profile = false;
+  std::string trace_out;
+  bool enabled() const { return profile || !trace_out.empty(); }
+};
+
+ProfileOptions parse_profile(const Args& args) {
+  ProfileOptions p;
+  p.profile = args.flag("profile");
+  p.trace_out = args.str("trace-out");
+  return p;
+}
+
+void emit_profile(const ProfileOptions& opts, const obs::Profiler& profiler,
+                  const sim::DeviceSpec& spec, std::ostream& out) {
+  if (opts.profile) {
+    out << "\nper-kernel profile (modeled):\n" << profiler.profile_table(&spec);
+  }
+  if (!opts.trace_out.empty()) {
+    profiler.write_chrome_trace(opts.trace_out);
+    out << "chrome trace written to " << opts.trace_out
+        << " (open in chrome://tracing)\n";
+  }
+}
+
 void print_report(const core::TrainReport& report, std::ostream& out) {
   out << "trees trained:        " << report.trees_trained
       << (report.early_stopped ? " (early stopped)" : "") << "\n";
@@ -227,6 +257,7 @@ int cmd_train(const Args& args, std::ostream& out) {
   const auto cfg = parse_train_config(args);
   const auto model_path = args.require("model");
   const auto device = parse_device(args.str("device"));
+  const auto prof_opts = parse_profile(args);
 
   std::optional<data::Dataset> valid;
   if (args.has("valid")) {
@@ -236,6 +267,8 @@ int cmd_train(const Args& args, std::ostream& out) {
   args.reject_unknown();
 
   core::GbmoBooster booster(cfg, device);
+  obs::Profiler profiler(/*capture_trace=*/!prof_opts.trace_out.empty());
+  if (prof_opts.enabled()) booster.set_sink(&profiler);
   const auto model =
       booster.fit(train, nullptr, valid.has_value() ? &*valid : nullptr);
   core::save_model(model_path, model);
@@ -251,6 +284,7 @@ int cmd_train(const Args& args, std::ostream& out) {
     out << "valid " << veval.metric << ": " << veval.value << "\n";
   }
   out << "model saved to " << model_path << "\n";
+  emit_profile(prof_opts, profiler, device, out);
   return 0;
 }
 
@@ -325,6 +359,7 @@ int cmd_bench(const Args& args, std::ostream& out) {
   const auto system = args.str("system", "ours");
   auto cfg = parse_train_config(args);
   const auto device = parse_device(args.str("device"));
+  const auto prof_opts = parse_profile(args);
   args.reject_unknown();
 
   const auto& spec = data::find_dataset(name);
@@ -332,11 +367,30 @@ int cmd_bench(const Args& args, std::ostream& out) {
   const auto split = data::split_dataset(full, 0.2);
 
   auto sys = baselines::make_system(system, cfg, device);
+  obs::Profiler profiler(/*capture_trace=*/!prof_opts.trace_out.empty());
+  if (prof_opts.enabled()) sys->set_sink(&profiler);
   sys->fit(split.train);
   const auto eval = sys->evaluate(split.test);
   out << "system " << system << " on " << name << " (bench-scale replica)\n";
   print_report(sys->report(), out);
   out << "test " << eval.metric << ": " << eval.value << "\n";
+  emit_profile(prof_opts, profiler, device, out);
+  return 0;
+}
+
+int cmd_systems(const Args& args, std::ostream& out) {
+  args.reject_unknown();
+  TextTable table({"name", "aliases", "kind", "description"});
+  for (const auto& info : gbmo::registered_systems()) {
+    std::string aliases;
+    for (const auto& a : info.aliases) {
+      if (!aliases.empty()) aliases += ", ";
+      aliases += a;
+    }
+    table.add_row({info.name, aliases.empty() ? "-" : aliases,
+                   info.gpu ? "gpu" : "cpu", info.description});
+  }
+  out << table.to_string();
   return 0;
 }
 
@@ -384,13 +438,20 @@ commands:
   predict    --model FILE --data FILE --features N --out FILE
   importance --model FILE [--top K --by gain|count]
   info       --model FILE
-  bench      --dataset NAME [--system ours|xgboost|lightgbm|catboost|sk-boost|mo-fu|mo-sp]
-             [--device 4090|3090|cpu + train options]
+  bench      --dataset NAME [--system NAME] [--device 4090|3090|cpu + train options]
   compare    --data FILE --features N [+ train options] — all five GPU
              systems on your data, one table
+  systems    list every registered training system (canonical name + aliases)
 
 train also accepts --csc (build histograms by streaming binned CSC entries,
 the paper's §3.2 storage path).
+
+train and bench accept --profile (print a per-kernel table of modeled time,
+bytes moved, atomic conflict rates and launch geometry) and --trace-out=FILE
+(write a Chrome trace_event JSON of the modeled pipeline — open it in
+chrome://tracing or Perfetto). System names for --system: run `gbmo systems`;
+both canonical names (gbmo-gpu, sketchboost, cpu-mo, ...) and the paper's
+short names (ours, sk-boost, mo-fu, ...) are accepted.
 )";
 }
 
@@ -411,6 +472,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "bench") return cmd_bench(args, out);
     if (cmd == "compare") return cmd_compare(args, out);
+    if (cmd == "systems") return cmd_systems(args, out);
     err << "unknown command: " << cmd << "\n" << usage();
     return 2;
   } catch (const std::exception& e) {
