@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
+#include "common/timer.h"
 #include "obs/profiler.h"
+#include "sim/scheduler.h"
 
 namespace gbmo::bench {
 
@@ -43,7 +47,9 @@ RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
   auto sys = baselines::make_system(system, cfg, std::move(device));
   obs::Profiler profiler;
   if (trace_dir() != nullptr) sys->set_sink(&profiler);
+  WallTimer fit_timer;
   sys->fit(split.train);
+  const double host_seconds = fit_timer.seconds();
   if (const char* dir = trace_dir()) {
     const auto path =
         std::string(dir) + "/" + system + "-" + spec.name + ".trace.json";
@@ -54,6 +60,7 @@ RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
   RunOutput out;
   out.system = system;
   out.dataset = spec.name;
+  out.host_seconds = host_seconds;
   out.report = sys->report();
   out.time_bench_100 = out.report.extrapolate_seconds(extrapolate_to);
   out.time_full_100 = out.time_bench_100 * spec.scale_factor();
@@ -66,6 +73,96 @@ RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
 void progress(const std::string& msg) {
   std::fprintf(stderr, "[bench] %s\n", msg.c_str());
   std::fflush(stderr);
+}
+
+JsonReport::JsonReport(std::string bench_name) : name_(std::move(bench_name)) {
+  set("sim_threads", static_cast<double>(sim::sim_threads()));
+}
+
+JsonReport::~JsonReport() {
+  try {
+    write();
+  } catch (...) {
+    // Destructor must not throw; a failed JSON write never fails the bench.
+  }
+}
+
+std::string JsonReport::num(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string JsonReport::str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control chars never appear in our names; keep it simple
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void JsonReport::set(const std::string& key, double value) {
+  config_.emplace_back(key, num(value));
+}
+
+void JsonReport::set(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, str(value));
+}
+
+void JsonReport::add_run(const RunOutput& out) {
+  add_record({{"system", str(out.system)},
+              {"dataset", str(out.dataset)},
+              {"modeled_bench_100_s", num(out.time_bench_100)},
+              {"modeled_full_100_s", num(out.time_full_100)},
+              {"modeled_s", num(out.report.modeled_seconds)},
+              {"host_s", num(out.host_seconds)},
+              {"quality", num(out.quality)},
+              {"metric", str(out.metric)}});
+}
+
+void JsonReport::add_record(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  std::string rec = "{";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    if (i > 0) rec += ",";
+    rec += str(kv[i].first) + ":" + kv[i].second;
+  }
+  rec += "}";
+  records_.push_back(std::move(rec));
+}
+
+std::string JsonReport::write() {
+  const char* dir = std::getenv("GBMO_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                         : "BENCH_" + name_ + ".json";
+  if (written_) return path;
+  std::ofstream os(path);
+  if (!os.good()) {
+    progress("cannot write " + path + " (skipping JSON report)");
+    return path;
+  }
+  os << "{\n  \"bench\": " << str(name_) << ",\n  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    " << str(config_[i].first) << ": " << config_[i].second;
+  }
+  os << "\n  },\n  \"runs\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n    " << records_[i];
+  }
+  os << "\n  ]\n}\n";
+  written_ = true;
+  progress("json report written to " + path);
+  return path;
 }
 
 }  // namespace gbmo::bench

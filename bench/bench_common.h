@@ -15,6 +15,8 @@
 
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/system.h"
 #include "common/table.h"
@@ -42,6 +44,7 @@ struct RunOutput {
   std::string dataset;
   double time_bench_100 = 0.0;  // modeled s, extrapolated to 100 trees
   double time_full_100 = 0.0;   // x volume scale factor
+  double host_seconds = 0.0;    // wall-clock spent in fit() on this host
   double quality = 0.0;
   std::string metric;
   core::TrainReport report;
@@ -59,5 +62,42 @@ RunOutput run_system(const std::string& system, const data::ReplicaSpec& spec,
 // One-line progress marker (benches run for minutes; stderr keeps the user
 // informed without polluting the stdout tables).
 void progress(const std::string& msg);
+
+// Machine-readable bench output: accumulates run records plus free-form
+// config keys and writes BENCH_<name>.json on destruction (or an explicit
+// write()). Destination directory: $GBMO_BENCH_JSON_DIR, else the current
+// directory. Every record carries both modeled seconds and host wall-clock,
+// so the perf trajectory of the simulator itself can be tracked across PRs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+  ~JsonReport();
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  // Top-level config keys (written under "config").
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+
+  // Appends one run record built from a RunOutput.
+  void add_run(const RunOutput& out);
+  // Appends one free-form run record (pre-serialized JSON values: pass
+  // numbers via num() / strings via str()).
+  void add_record(const std::vector<std::pair<std::string, std::string>>& kv);
+
+  static std::string num(double v);
+  static std::string str(const std::string& s);  // quoted + escaped
+
+  // Writes BENCH_<name>.json; returns the path. Idempotent (the destructor
+  // skips the write once it has happened).
+  std::string write();
+
+ private:
+  std::string name_;
+  bool written_ = false;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::string> records_;  // serialized JSON objects
+};
 
 }  // namespace gbmo::bench

@@ -39,6 +39,10 @@ int main() {
       {"adaptive", gbmo::core::HistMethod::kAuto, true},
   };
 
+  gbmo::bench::JsonReport json("fig6a_hist_methods");
+  json.set("device", "rtx3090");
+  json.set("trees_to_train", 4.0);
+
   std::printf("== Figure 6a — histogram strategies (modeled s for 100 trees, "
               "bench scale) ==\n");
   std::vector<std::string> header = {"Dataset"};
@@ -60,6 +64,12 @@ int main() {
       cfg.warp_opt = m.warp_opt;
       const auto out = run_system("ours", spec, cfg, /*trees=*/4, 100,
                                   gbmo::sim::DeviceSpec::rtx3090());
+      json.add_record(
+          {{"dataset", gbmo::bench::JsonReport::str(name)},
+           {"method", gbmo::bench::JsonReport::str(m.label)},
+           {"modeled_bench_100_s",
+            gbmo::bench::JsonReport::num(out.time_bench_100)},
+           {"host_s", gbmo::bench::JsonReport::num(out.host_seconds)}});
       times.push_back(out.time_bench_100);
       row.push_back(TextTable::num(out.time_bench_100, 3));
     }

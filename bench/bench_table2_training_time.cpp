@@ -45,7 +45,7 @@ const std::map<std::string, std::map<std::string, double>> kPaperDual = {
     {"Delicious", {{"catboost", 133.31}, {"lightgbm", 794.65}, {"xgboost", 107.33}, {"sk-boost", 286.26}, {"ours", 11.27}}},
 };
 
-void run_block(int n_devices,
+void run_block(int n_devices, gbmo::bench::JsonReport& json,
                const std::map<std::string, std::map<std::string, double>>& paper) {
   const auto systems = gbmo::baselines::gpu_system_names();
   std::printf("== Table 2 (%s) — modeled seconds for 100 trees, bench scale ==\n",
@@ -68,6 +68,12 @@ void run_block(int n_devices,
       auto cfg = paper_config();
       cfg.n_devices = n_devices;
       const auto out = run_system(s, spec, cfg, /*trees_to_train=*/4);
+      json.add_record({{"system", gbmo::bench::JsonReport::str(s)},
+                       {"dataset", gbmo::bench::JsonReport::str(spec.name)},
+                       {"devices", gbmo::bench::JsonReport::num(n_devices)},
+                       {"modeled_bench_100_s",
+                        gbmo::bench::JsonReport::num(out.time_bench_100)},
+                       {"host_s", gbmo::bench::JsonReport::num(out.host_seconds)}});
       row.push_back(TextTable::num(out.time_bench_100, 3));
       row.push_back(TextTable::num(paper.at(spec.name).at(s), 2));
       if (s == "ours") {
@@ -90,7 +96,9 @@ void run_block(int n_devices,
 }  // namespace
 
 int main() {
-  run_block(1, kPaperSingle);
-  run_block(2, kPaperDual);
+  gbmo::bench::JsonReport json("table2_training_time");
+  json.set("trees_to_train", 4.0);
+  run_block(1, json, kPaperSingle);
+  run_block(2, json, kPaperDual);
   return 0;
 }

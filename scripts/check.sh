@@ -12,4 +12,25 @@ build="${GBMO_CHECK_BUILD_DIR:-$repo/build-check}"
 cmake -B "$build" -S "$repo" -DCMAKE_CXX_FLAGS=-Werror
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# Optional ThreadSanitizer stage for the parallel block scheduler and thread
+# pool (GBMO_CHECK_TSAN=0 skips; also skipped when the toolchain can't link
+# -fsanitize=thread, e.g. missing libtsan).
+if [[ "${GBMO_CHECK_TSAN:-1}" != "0" ]]; then
+  tsan_probe="$(mktemp -d)"
+  trap 'rm -rf "$tsan_probe"' EXIT
+  echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
+  if "${CXX:-c++}" -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" 2>/dev/null; then
+    tsan_build="${GBMO_CHECK_TSAN_BUILD_DIR:-$repo/build-tsan}"
+    cmake -B "$tsan_build" -S "$repo" -DGBMO_SANITIZE=thread
+    cmake --build "$tsan_build" -j "$(nproc)" --target gbmo_tests
+    # Force multiple scheduler workers so TSan actually sees cross-thread
+    # traffic even on small grids / 1-core hosts.
+    GBMO_SIM_THREADS=4 ctest --test-dir "$tsan_build" --output-on-failure \
+      -R 'ThreadPool|SimParallel'
+    echo "check: TSan stage OK (ThreadPool + SimParallel under -fsanitize=thread)"
+  else
+    echo "check: TSan stage skipped (toolchain cannot link -fsanitize=thread)"
+  fi
+fi
 echo "check: OK (warnings-as-errors build + full test suite)"

@@ -1,8 +1,16 @@
-// A small fixed-size thread pool with a parallel_for convenience wrapper.
+// A small thread pool with parallel_for / run_workers convenience wrappers.
 //
-// The GPU simulator distributes thread blocks over this pool. On single-core
-// hosts (hardware_concurrency == 1) the pool degenerates to inline execution,
-// which keeps the functional simulation deterministic and cheap.
+// The GPU simulator distributes simulated thread blocks over this pool (see
+// sim/launch.h and sim/scheduler.h). Guarantees:
+//   - exceptions thrown inside iterations propagate to the caller (the
+//     lowest-indexed captured exception is rethrown; remaining iterations
+//     are skipped on a best-effort basis once a failure is observed);
+//   - parallel_for / run_workers called from inside a pool worker run inline
+//     on the calling thread, so nested parallelism cannot deadlock on the
+//     shared task queue;
+//   - ensure_workers() grows the pool on demand, so a simulation configured
+//     for N workers really runs N OS threads even on hosts with fewer cores
+//     (results never depend on the worker count — see sim/launch.h).
 #pragma once
 
 #include <condition_variable>
@@ -24,11 +32,28 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+  std::size_t size() const;
+
+  // Grows the pool to at least n_workers OS threads (never shrinks). A pool
+  // constructed inline (n_threads == 1) gains real workers on first use.
+  void ensure_workers(std::size_t n_workers);
+
+  // True on a thread currently executing pool work (including the caller
+  // thread while it participates in run_workers). Nested parallel calls use
+  // this to fall back to inline execution.
+  static bool in_worker();
 
   // Runs fn(i) for i in [0, n) and blocks until all iterations complete.
-  // Iterations are chunked to limit scheduling overhead.
+  // Iterations are chunked to limit scheduling overhead. Runs inline when
+  // called from a pool worker or when the pool has no workers.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Runs fn(w) for w in [0, n_workers) with each invocation on its own
+  // thread; the calling thread participates as worker 0. Blocks until every
+  // worker returns. Runs all workers inline (in index order) when called
+  // from a pool worker. Grows the pool as needed.
+  void run_workers(std::size_t n_workers,
+                   const std::function<void(std::size_t)>& fn);
 
   // Process-wide pool sized to hardware concurrency.
   static ThreadPool& global();
@@ -39,7 +64,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };

@@ -81,6 +81,10 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   const int d = train.n_outputs();
   GBMO_CHECK(n > 0 && d >= 1);
 
+  // Apply the config's host-parallelism knob for this and later runs (0
+  // keeps the process default; results are identical either way).
+  if (config_.sim_threads > 0) sim::set_sim_threads(config_.sim_threads);
+
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
   group.set_sink(sink_);
   report_ = TrainReport{};

@@ -46,6 +46,12 @@ struct TrainConfig {
   int n_devices = 1;
   MultiGpuMode multi_gpu = MultiGpuMode::kFeatureParallel;
 
+  // Host worker threads for the simulator's block scheduler (0 = process
+  // default: GBMO_SIM_THREADS env, else hardware concurrency; 1 = inline).
+  // Purely a host-performance knob — results are bit-identical for every
+  // value (see sim/launch.h).
+  int sim_threads = 0;
+
   // Stochastic boosting (extensions beyond the paper's evaluation setup;
   // both default off = the paper's configuration):
   double subsample = 1.0;          // row fraction sampled per tree
@@ -83,6 +89,7 @@ struct TrainConfig {
     multi_gpu = mode;
     return *this;
   }
+  TrainConfig& host_threads(int n) { sim_threads = n; return *this; }
   TrainConfig& row_subsample(double fraction) { subsample = fraction; return *this; }
   TrainConfig& feature_subsample(double fraction) {
     colsample_bytree = fraction;

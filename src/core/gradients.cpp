@@ -1,5 +1,7 @@
 #include "core/gradients.h"
 
+#include <vector>
+
 #include "common/error.h"
 #include "sim/launch.h"
 
@@ -43,10 +45,11 @@ void reduce_gradients(sim::Device& dev, std::span<const float> g,
   const int grid = sim::blocks_for(std::max<std::size_t>(rows.size(), 1), kBlock);
 
   sim::launch(dev, "reduce_gradients", grid, kBlock, [&](sim::BlockCtx& blk) {
-    // One block strides over its share of rows and accumulates into the
-    // output with atomics after a warp-level partial reduction; functionally
-    // we accumulate directly (blocks execute sequentially per host thread,
-    // the grower serializes node reductions).
+    // One block strides over its share of rows, accumulates a block-private
+    // partial (the warp-level reduction on hardware), and flushes it into
+    // the shared totals with atomics — here under blk.commit(), so the add
+    // order is block-id-deterministic for any --sim-threads value.
+    std::vector<sim::GradPair> partial(static_cast<std::size_t>(n_outputs));
     blk.threads([&](int tid) {
       const std::size_t r =
           static_cast<std::size_t>(blk.block_id()) * kBlock + static_cast<std::size_t>(tid);
@@ -54,14 +57,19 @@ void reduce_gradients(sim::Device& dev, std::span<const float> g,
       const std::size_t off =
           static_cast<std::size_t>(rows[r]) * static_cast<std::size_t>(n_outputs);
       for (int k = 0; k < n_outputs; ++k) {
-        totals[static_cast<std::size_t>(k)].g += g[off + static_cast<std::size_t>(k)];
-        totals[static_cast<std::size_t>(k)].h += h[off + static_cast<std::size_t>(k)];
+        partial[static_cast<std::size_t>(k)].g += g[off + static_cast<std::size_t>(k)];
+        partial[static_cast<std::size_t>(k)].h += h[off + static_cast<std::size_t>(k)];
       }
       blk.stats().gmem_coalesced_bytes +=
           static_cast<std::uint64_t>(n_outputs) * 2 * sizeof(float);
       blk.stats().flops += static_cast<std::uint64_t>(n_outputs) * 2;
     });
-    // The per-block partial histogram flush: d atomic adds per block.
+    blk.commit([&] {
+      for (int k = 0; k < n_outputs; ++k) {
+        totals[static_cast<std::size_t>(k)] += partial[static_cast<std::size_t>(k)];
+      }
+    });
+    // The per-block partial flush: d atomic adds per block.
     blk.stats().atomic_global_ops += static_cast<std::uint64_t>(n_outputs);
   });
 }

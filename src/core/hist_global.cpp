@@ -5,6 +5,14 @@
 // gradient pair into the global histogram. Simple and scalable for moderate
 // workloads, but same-bin collisions serialize the full d-wide update, which
 // is what the shared-memory strategy exists to absorb.
+//
+// Functionally, the atomicAdd target is cross-block shared state, so each
+// block accumulates into a private dense tile and flushes it under
+// blk.commit() — the deterministic-accumulation rule that keeps results
+// bit-identical for any --sim-threads value (see sim/launch.h). The charged
+// counters still model the direct-atomic kernel, unchanged.
+#include <vector>
+
 #include "core/hist_common.h"
 #include "core/histogram.h"
 #include "sim/launch.h"
@@ -43,6 +51,14 @@ class GlobalBuilder final : public HistogramBuilder {
       detail::BuildTally tally;
       sim::ConflictTracker tracker;
 
+      // Block-private tile for this feature's slice; flushed in block-id
+      // order below so the accumulation order is worker-count-independent.
+      const int n_bins = layout.n_bins(f);
+      std::vector<sim::GradPair> local(static_cast<std::size_t>(n_bins) *
+                                       static_cast<std::size_t>(d));
+      std::vector<std::uint32_t> local_counts(
+          static_cast<std::size_t>(n_bins), 0);
+
       for (std::size_t r = row_lo; r < row_hi; ++r) {
         const std::size_t row = in.node_rows[r];
         const std::uint8_t bin = detail::fetch_bin(*in.bins, in.packed, row, f);
@@ -54,13 +70,31 @@ class GlobalBuilder final : public HistogramBuilder {
         tally.conflict_hits += tracker.note(static_cast<std::uintptr_t>(base));
         const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
         const float* hi = in.h.data() + row * static_cast<std::size_t>(d);
-        sim::GradPair* slot = out.sums.data() + base;
+        sim::GradPair* slot =
+            local.data() + static_cast<std::size_t>(bin) * static_cast<std::size_t>(d);
         for (int k = 0; k < d; ++k) {
           slot[k].g += gi[k];
           slot[k].h += hi[k];
         }
-        ++out.counts[layout.bin_index(f, bin)];
+        ++local_counts[bin];
       }
+
+      blk.commit([&] {
+        for (int b = 0; b < n_bins; ++b) {
+          if (local_counts[static_cast<std::size_t>(b)] == 0) continue;
+          const std::size_t gbase = layout.slot(f, b, 0);
+          const std::size_t lbase =
+              static_cast<std::size_t>(b) * static_cast<std::size_t>(d);
+          for (int k = 0; k < d; ++k) {
+            out.sums[gbase + static_cast<std::size_t>(k)].g +=
+                local[lbase + static_cast<std::size_t>(k)].g;
+            out.sums[gbase + static_cast<std::size_t>(k)].h +=
+                local[lbase + static_cast<std::size_t>(k)].h;
+          }
+          out.counts[layout.bin_index(f, b)] +=
+              local_counts[static_cast<std::size_t>(b)];
+        }
+      });
 
       auto& s = blk.stats();
       tally.fold_common(s, d, in.packed, in.csc_indirection);

@@ -71,11 +71,12 @@ class SharedBuilder final : public HistogramBuilder {
       }
     }
 
-    // Reused scratch for the (sequentially executed) blocks' shared tiles.
-    std::vector<sim::GradPair> tile;
-    std::vector<std::uint32_t> tile_counts;
-
     sim::launch(dev, "hist_smem", grid, 256, [&](sim::BlockCtx& blk) {
+      // Block-private shared-memory tile (blocks may run on parallel
+      // scheduler workers, so scratch cannot be shared across blocks).
+      std::vector<sim::GradPair> tile;
+      std::vector<std::uint32_t> tile_counts;
+
       const BlockJob job = jobs[static_cast<std::size_t>(blk.block_id())];
       const std::uint32_t f = in.features[job.feature_idx];
       const std::uint8_t zb = layout.zero_bin(f);
@@ -118,23 +119,27 @@ class SharedBuilder final : public HistogramBuilder {
 
       blk.sync();  // all accumulation visible before the flush phase
 
-      // Flush: one global atomic add per touched tile slot.
+      // Flush: one global atomic add per touched tile slot. The flush is the
+      // block's cross-block side effect, so it runs under blk.commit() —
+      // block-id order, worker-count-independent.
       std::uint64_t flushed = 0;
-      for (int b = bin_lo; b < bin_hi; ++b) {
-        const std::size_t tbase =
-            static_cast<std::size_t>(b - bin_lo) * static_cast<std::size_t>(d);
-        if (tile_counts[static_cast<std::size_t>(b - bin_lo)] == 0) continue;
-        const std::size_t gbase = layout.slot(f, b, 0);
-        for (int k = 0; k < d; ++k) {
-          out.sums[gbase + static_cast<std::size_t>(k)].g +=
-              tile[tbase + static_cast<std::size_t>(k)].g;
-          out.sums[gbase + static_cast<std::size_t>(k)].h +=
-              tile[tbase + static_cast<std::size_t>(k)].h;
+      blk.commit([&] {
+        for (int b = bin_lo; b < bin_hi; ++b) {
+          const std::size_t tbase =
+              static_cast<std::size_t>(b - bin_lo) * static_cast<std::size_t>(d);
+          if (tile_counts[static_cast<std::size_t>(b - bin_lo)] == 0) continue;
+          const std::size_t gbase = layout.slot(f, b, 0);
+          for (int k = 0; k < d; ++k) {
+            out.sums[gbase + static_cast<std::size_t>(k)].g +=
+                tile[tbase + static_cast<std::size_t>(k)].g;
+            out.sums[gbase + static_cast<std::size_t>(k)].h +=
+                tile[tbase + static_cast<std::size_t>(k)].h;
+          }
+          out.counts[layout.bin_index(f, b)] +=
+              tile_counts[static_cast<std::size_t>(b - bin_lo)];
+          flushed += static_cast<std::uint64_t>(d);
         }
-        out.counts[layout.bin_index(f, b)] +=
-            tile_counts[static_cast<std::size_t>(b - bin_lo)];
-        flushed += static_cast<std::uint64_t>(d);
-      }
+      });
 
       auto& s = blk.stats();
       tally.fold_common(s, d, in.packed, in.csc_indirection);

@@ -49,21 +49,33 @@ class SortReduceBuilder final : public HistogramBuilder {
       const std::size_t row_lo = chunk * kBlock;
       const std::size_t row_hi = std::min(n_rows, row_lo + kBlock);
 
+      // Block-private pair buffer, appended to the shared arrays in block-id
+      // order under blk.commit() — the append order (and therefore the
+      // stable sort's output) is identical for any --sim-threads value.
+      std::vector<std::uint64_t> local_keys;
+      std::vector<std::uint32_t> local_rows;
+      local_keys.reserve(row_hi - row_lo);
+      local_rows.reserve(row_hi - row_lo);
+
       detail::BuildTally tally;
       for (std::size_t r = row_lo; r < row_hi; ++r) {
         const std::size_t row = in.node_rows[r];
         const std::uint8_t bin = detail::fetch_bin(*in.bins, in.packed, row, f);
         ++tally.elements;
         if (in.sparsity_aware && bin == zb) continue;
-        keys.push_back(static_cast<std::uint64_t>(layout.bin_index(f, bin)));
-        payload_rows.push_back(static_cast<std::uint32_t>(row));
+        local_keys.push_back(static_cast<std::uint64_t>(layout.bin_index(f, bin)));
+        local_rows.push_back(static_cast<std::uint32_t>(row));
       }
+      blk.commit([&] {
+        keys.insert(keys.end(), local_keys.begin(), local_keys.end());
+        payload_rows.insert(payload_rows.end(), local_rows.begin(),
+                            local_rows.end());
+      });
       auto& s = blk.stats();
-      // Key construction only reads row ids + bins and writes the pairs.
+      // Key construction only reads row ids + bins and writes the pairs
+      // (pair-write traffic is charged below, once the count is known).
       s.gmem_coalesced_bytes += tally.elements * sizeof(std::uint32_t);
       s.gmem_random_accesses += in.packed ? (tally.elements + 3) / 4 : tally.elements;
-      s.gmem_coalesced_bytes +=
-          static_cast<std::uint64_t>(keys.size()) * 0;  // writes charged below
     });
 
     const std::uint64_t n_pairs = keys.size();
@@ -87,21 +99,43 @@ class SortReduceBuilder final : public HistogramBuilder {
                 kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t lo = static_cast<std::size_t>(blk.block_id()) * kBlock;
       const std::size_t hi = std::min<std::size_t>(n_pairs, lo + kBlock);
+      // The keys are sorted, so this block's share is a short list of runs.
+      // Accumulate each run privately, then add the run sums to the shared
+      // histogram under blk.commit() (runs can straddle chunk boundaries, so
+      // the slot update is cross-block shared state).
+      std::vector<std::size_t> run_bins;
+      std::vector<std::uint32_t> run_counts;
+      std::vector<sim::GradPair> run_sums;  // d consecutive pairs per run
       std::uint64_t accum = 0;
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t bin_idx = keys[i];
         const std::size_t row = payload_rows[i];
+        if (run_bins.empty() || run_bins.back() != bin_idx) {
+          run_bins.push_back(bin_idx);
+          run_counts.push_back(0);
+          run_sums.resize(run_sums.size() + static_cast<std::size_t>(d));
+        }
         sim::GradPair* slot =
-            out.sums.data() + bin_idx * static_cast<std::size_t>(d);
+            run_sums.data() + (run_bins.size() - 1) * static_cast<std::size_t>(d);
         const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
         const float* hi_row = in.h.data() + row * static_cast<std::size_t>(d);
         for (int k = 0; k < d; ++k) {
           slot[k].g += gi[k];
           slot[k].h += hi_row[k];
         }
-        ++out.counts[bin_idx];
+        ++run_counts.back();
         ++accum;
       }
+      blk.commit([&] {
+        for (std::size_t r = 0; r < run_bins.size(); ++r) {
+          sim::GradPair* slot =
+              out.sums.data() + run_bins[r] * static_cast<std::size_t>(d);
+          const sim::GradPair* src =
+              run_sums.data() + r * static_cast<std::size_t>(d);
+          for (int k = 0; k < d; ++k) slot[k] += src[k];
+          out.counts[run_bins[r]] += run_counts[r];
+        }
+      });
       auto& s = blk.stats();
       // reduce_by_key cannot carry d-wide values through its single-pass
       // fast path: one reduce pass per output dimension, each re-reading the

@@ -1,5 +1,8 @@
 #include "core/predictor.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.h"
 #include "sim/launch.h"
 
@@ -72,20 +75,34 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
   if (tree_parallel) {
     // One launch; blocks cover (tree, instance-chunk) pairs so all trees run
     // concurrently. Scores are accumulated with atomics on real hardware;
-    // the sequential block order here makes the plain add exact.
+    // each block stages its chunk's leaf values privately and adds them to
+    // the shared scores under blk.commit(), so the accumulation order is
+    // block-id-deterministic for any --sim-threads value.
     const int grid = static_cast<int>(trees.size()) * chunks;
     sim::launch(dev, "predict_trees", grid, kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t t = static_cast<std::size_t>(blk.block_id()) /
                             static_cast<std::size_t>(chunks);
       const std::size_t chunk = static_cast<std::size_t>(blk.block_id()) %
                                 static_cast<std::size_t>(chunks);
+      const std::size_t row_lo = chunk * kBlock;
+      const std::size_t row_hi = std::min(n, row_lo + kBlock);
+      std::vector<float> local(
+          (row_hi > row_lo ? row_hi - row_lo : 0) * static_cast<std::size_t>(d),
+          0.0f);
       blk.threads([&](int tid) {
-        const std::size_t i = chunk * kBlock + static_cast<std::size_t>(tid);
+        const std::size_t i = row_lo + static_cast<std::size_t>(tid);
         if (i >= n) return;
         traverse_and_add(trees[t], x.row(i),
-                         scores.data() + i * static_cast<std::size_t>(d),
+                         local.data() + (i - row_lo) * static_cast<std::size_t>(d),
                          blk.stats());
         blk.stats().atomic_global_ops += static_cast<std::uint64_t>(d) / 4 + 1;
+      });
+      blk.commit([&] {
+        for (std::size_t i = row_lo; i < row_hi; ++i) {
+          float* dst = scores.data() + i * static_cast<std::size_t>(d);
+          const float* src = local.data() + (i - row_lo) * static_cast<std::size_t>(d);
+          for (int k = 0; k < d; ++k) dst[k] += src[k];
+        }
       });
     });
     return;

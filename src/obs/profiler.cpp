@@ -45,6 +45,7 @@ std::string json_escape(const std::string& in) {
 }  // namespace
 
 void Profiler::on_event(const sim::KernelEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
   KernelProfile& k = kernels_[*e.name];
   if (k.name.empty()) k.name = *e.name;
   k.stats += e.stats;
@@ -69,6 +70,7 @@ void Profiler::on_event(const sim::KernelEvent& e) {
 }
 
 void Profiler::on_span_begin(const std::string& name, double ts) {
+  std::lock_guard<std::mutex> lock(mu_);
   span_stack_.push_back(name);
   if (!capture_trace_) return;
   TraceEvent t;
@@ -80,6 +82,7 @@ void Profiler::on_span_begin(const std::string& name, double ts) {
 }
 
 void Profiler::on_span_end(double ts) {
+  std::lock_guard<std::mutex> lock(mu_);
   GBMO_CHECK(!span_stack_.empty()) << "span end without matching begin";
   std::string name = std::move(span_stack_.back());
   span_stack_.pop_back();
@@ -213,6 +216,7 @@ std::string Profiler::profile_table(const sim::DeviceSpec* spec) const {
 }
 
 void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   kernels_.clear();
   device_seconds_.clear();
   trace_.clear();

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,7 +56,10 @@ class Profiler : public sim::StatsSink {
   // long runs that just want the profile table).
   explicit Profiler(bool capture_trace = true) : capture_trace_(capture_trace) {}
 
-  // sim::StatsSink
+  // sim::StatsSink. The sink callbacks are serialized by an internal mutex,
+  // so one Profiler may be attached to a whole DeviceGroup even when kernels
+  // charge from parallel scheduler workers. The read accessors below are
+  // unsynchronized: call them between launches on the launching thread.
   void on_event(const sim::KernelEvent& e) override;
   void on_span_begin(const std::string& name, double ts) override;
   void on_span_end(double ts) override;
@@ -89,6 +93,7 @@ class Profiler : public sim::StatsSink {
   void clear();
 
  private:
+  std::mutex mu_;
   bool capture_trace_;
   std::map<std::string, KernelProfile> kernels_;
   std::map<int, double> device_seconds_;

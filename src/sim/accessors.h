@@ -37,10 +37,12 @@ class Global {
     data_[i] = v;
   }
 
-  // Atomic add with same-address conflict tracking. Blocks execute one at a
-  // time per host thread, so the plain add is race-free within a block; when
-  // blocks run concurrently on a multi-core host the accumulation targets
-  // must be block-partitioned or the caller must use AtomicGlobal below.
+  // Atomic add with same-address conflict tracking. The plain add is
+  // race-free within a block (block phases run on one host thread). Blocks
+  // may execute concurrently on parallel scheduler workers, so cross-block
+  // targets must either be block-partitioned (disjoint writes) or the adds
+  // must happen inside BlockCtx::commit — the deterministic-accumulation
+  // rule in sim/launch.h.
   void atomic_add(std::size_t i, const T& v) {
     GBMO_DCHECK(i < data_.size());
     data_[i] += v;

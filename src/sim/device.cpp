@@ -62,18 +62,31 @@ DeviceSpec DeviceSpec::cpu_server() {
   return s;
 }
 
+void Device::set_phase(std::string phase) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phase_ = std::move(phase);
+}
+
+void Device::set_kernel(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kernel_ = std::move(name);
+}
+
 void Device::add_modeled_time(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
   modeled_seconds_ += seconds;
   phase_seconds_[phase_] += seconds;
   if (sink_) emit(KernelStats{}, seconds);
 }
 
 void Device::add_stats(const KernelStats& s) {
+  std::lock_guard<std::mutex> lock(mu_);
   total_stats_ += s;
   if (sink_) emit(s, 0.0);
 }
 
 void Device::charge_kernel(const KernelStats& s, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
   total_stats_ += s;
   modeled_seconds_ += seconds;
   phase_seconds_[phase_] += seconds;
@@ -94,6 +107,7 @@ void Device::emit(const KernelStats& s, double seconds) {
 }
 
 void Device::reset_time() {
+  std::lock_guard<std::mutex> lock(mu_);
   modeled_seconds_ = 0.0;
   phase_seconds_.clear();
   total_stats_ = KernelStats{};
@@ -101,6 +115,7 @@ void Device::reset_time() {
 }
 
 void Device::note_alloc(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!fits(bytes)) {
     throw OutOfDeviceMemory(bytes, allocated_, spec_.memory_bytes);
   }
@@ -109,6 +124,7 @@ void Device::note_alloc(std::size_t bytes) {
 }
 
 void Device::note_free(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   allocated_ = bytes > allocated_ ? 0 : allocated_ - bytes;
 }
 

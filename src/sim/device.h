@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -48,6 +49,12 @@ struct DeviceSpec {
   static DeviceSpec cpu_server();
 };
 
+// Charging (add_stats / add_modeled_time / charge_kernel, including the
+// sink forwarding) and the label setters are serialized by an internal
+// mutex, so kernels running on parallel scheduler workers may charge the
+// device concurrently. The aggregate accessors are unsynchronized reads:
+// call them from the launching thread between launches (the join at the end
+// of every sim::launch makes all charges visible there).
 class Device {
  public:
   explicit Device(DeviceSpec spec, int id = 0) : spec_(std::move(spec)), id_(id) {}
@@ -58,7 +65,7 @@ class Device {
   // --- modeled-time accounting -------------------------------------------
   // All kernels/primitives executed "on" this device add modeled seconds
   // under the currently active phase label.
-  void set_phase(std::string phase) { phase_ = std::move(phase); }
+  void set_phase(std::string phase);
   const std::string& phase() const { return phase_; }
   void add_modeled_time(double seconds);
   double modeled_seconds() const { return modeled_seconds_; }
@@ -78,7 +85,7 @@ class Device {
   // (tree, level) context.
   void set_sink(StatsSink* sink) { sink_ = sink; }
   StatsSink* sink() const { return sink_; }
-  void set_kernel(std::string name) { kernel_ = std::move(name); }
+  void set_kernel(std::string name);
   const std::string& kernel() const { return kernel_; }
   void set_trace_tree(int tree) { tree_ = tree; }
   void set_trace_level(int level) { level_ = level; }
@@ -97,8 +104,9 @@ class Device {
   }
 
  private:
-  void emit(const KernelStats& s, double seconds);
+  void emit(const KernelStats& s, double seconds);  // caller holds mu_
 
+  mutable std::mutex mu_;
   DeviceSpec spec_;
   int id_;
   std::string phase_ = "unattributed";

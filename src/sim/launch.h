@@ -10,15 +10,27 @@
 //
 // Within a block, phases execute sequentially on one host thread, which makes
 // shared-memory phase semantics exact: everything before blk.sync() is
-// visible after it. Blocks are independent (as on hardware) and may be
-// distributed over the host thread pool.
+// visible after it.
+//
+// Blocks are independent (as on hardware) and are distributed over the host
+// thread pool: a launch runs on sim::launch_workers(grid) workers (see
+// sim/scheduler.h; configurable via --sim-threads / GBMO_SIM_THREADS /
+// TrainConfig). Worker w executes blocks w, w + W, w + 2W, ... in increasing
+// order. Cross-block side effects — anything the real kernel would do with
+// global-memory atomics — must go through BlockCtx::commit, which executes
+// bodies in block-id order with mutual exclusion. The single-worker path
+// uses the same commit semantics, so results (including floating-point
+// accumulation order) are bit-identical for every worker count.
 //
 // Every launch produces a KernelStats record that the cost model converts to
 // modeled seconds, accumulated on the device under its current phase label.
+// With multiple workers each gets a private KernelStats, merged in fixed
+// worker order after the launch; all counters are integers, so the merged
+// totals equal the sequential path's exactly.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
+#include <exception>
 #include <utility>
 #include <vector>
 
@@ -26,6 +38,7 @@
 #include "sim/cost_model.h"
 #include "sim/counters.h"
 #include "sim/device.h"
+#include "sim/scheduler.h"
 #include "sim/warp.h"
 
 namespace gbmo::sim {
@@ -33,12 +46,13 @@ namespace gbmo::sim {
 class BlockCtx {
  public:
   BlockCtx(int block_id, int block_dim, int grid_dim, int warp_size,
-           KernelStats& stats)
+           KernelStats& stats, BlockSequencer* seq = nullptr)
       : block_id_(block_id),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         warp_size_(warp_size),
-        stats_(stats) {}
+        stats_(stats),
+        seq_(seq) {}
 
   int block_id() const { return block_id_; }
   int block_dim() const { return block_dim_; }
@@ -67,12 +81,27 @@ class BlockCtx {
   // records the synchronization cost.
   void sync() { ++stats_.barriers; }
 
+  // Runs `body` as this block's cross-block side-effect phase. Anything a
+  // real kernel would write through global-memory atomics (histogram
+  // flushes, score accumulation, appends to shared buffers) must happen
+  // here: bodies execute in block-id order with mutual exclusion, for any
+  // worker count, which is what keeps floating-point accumulation — and so
+  // every trained model — bit-identical across --sim-threads settings.
+  // Runs inline (synchronously) on the block's worker; block-private state
+  // captured by reference stays valid.
+  template <typename F>
+  void commit(F&& body) {
+    if (seq_ != nullptr) seq_->wait_turn(block_id_);
+    body();
+  }
+
  private:
   int block_id_;
   int block_dim_;
   int grid_dim_;
   int warp_size_;
   KernelStats& stats_;
+  BlockSequencer* seq_;
 };
 
 struct LaunchResult {
@@ -82,19 +111,52 @@ struct LaunchResult {
 
 // Launches `grid_dim` independent blocks of `block_dim` simulated threads.
 // Returns the merged stats and modeled kernel time (already charged to dev).
+// Kernel exceptions propagate to the caller; with multiple workers the
+// lowest-block-id exception observed is rethrown and remaining blocks are
+// skipped (every block still retires, so no worker hangs).
 template <typename Kernel>
 LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
   KernelStats merged;
   merged.blocks = static_cast<std::uint64_t>(grid_dim);
   merged.threads = static_cast<std::uint64_t>(grid_dim) * block_dim;
+  const int warp_size = dev.spec().warp_size;
 
-  // Blocks execute sequentially in block-id order. This makes simulated
-  // global-memory atomics exact without host synchronization and keeps every
-  // run bit-deterministic; block *independence* is still enforced by
-  // construction (each block only sees its BlockCtx).
-  for (int b = 0; b < grid_dim; ++b) {
-    BlockCtx blk(b, block_dim, grid_dim, dev.spec().warp_size, merged);
-    kernel(blk);
+  const int n_workers = launch_workers(grid_dim);
+  if (n_workers <= 1) {
+    // Inline path: blocks execute sequentially in block-id order on the
+    // calling thread. commit() bodies run immediately — already in order.
+    for (int b = 0; b < grid_dim; ++b) {
+      BlockCtx blk(b, block_dim, grid_dim, warp_size, merged);
+      kernel(blk);
+    }
+  } else {
+    BlockSequencer seq(grid_dim);
+    std::vector<KernelStats> worker_stats(
+        static_cast<std::size_t>(n_workers));
+    ThreadPool::global().run_workers(
+        static_cast<std::size_t>(n_workers), [&](std::size_t w) {
+          // Round-robin assignment, each worker in increasing block order:
+          // worker w's next commit waits only on the W-1 in-flight blocks
+          // before it, never on a whole contiguous chunk (contiguous
+          // chunking would serialize every commit behind worker 0).
+          for (int b = static_cast<int>(w); b < grid_dim;
+               b += n_workers) {
+            if (!seq.failed()) {
+              try {
+                BlockCtx blk(b, block_dim, grid_dim, warp_size,
+                             worker_stats[w], &seq);
+                kernel(blk);
+              } catch (...) {
+                seq.record_failure(b, std::current_exception());
+              }
+            }
+            seq.retire(b);
+          }
+        });
+    seq.rethrow_if_failed();
+    // Fixed-order merge of the private counters; integer sums, so the
+    // result is exact and equal to the sequential path's.
+    for (const auto& ws : worker_stats) merged += ws;
   }
 
   LaunchResult res;

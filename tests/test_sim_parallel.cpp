@@ -1,0 +1,205 @@
+// Determinism of the parallel block scheduler (sim/scheduler.h, sim/launch.h):
+// training the same configuration at 1, 2 and 4 scheduler threads must produce
+// bit-identical models, identical modeled seconds and an identical per-kernel
+// profiler table — for every histogram strategy, the CSC level sweep and the
+// multi-GPU feature-parallel path. Also covers launch-level commit ordering
+// and exception propagation directly.
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/booster.h"
+#include "data/synthetic.h"
+#include "obs/profiler.h"
+#include "sim/launch.h"
+#include "sim/scheduler.h"
+
+namespace gbmo {
+namespace {
+
+// Restores the process-default scheduler thread count when a test exits,
+// including on assertion failure.
+struct SimThreadsGuard {
+  ~SimThreadsGuard() { sim::set_sim_threads(0); }
+};
+
+core::TrainConfig small_config() {
+  core::TrainConfig cfg;
+  cfg.n_trees = 5;
+  cfg.max_depth = 4;
+  cfg.learning_rate = 0.5f;
+  cfg.min_instances_per_node = 5;
+  cfg.max_bins = 32;
+  return cfg;
+}
+
+data::Dataset make_data() {
+  data::MulticlassSpec spec;
+  spec.n_instances = 300;
+  spec.n_features = 10;
+  spec.n_classes = 4;
+  spec.cluster_sep = 2.0;
+  return data::make_multiclass(spec);
+}
+
+struct RunResult {
+  std::vector<float> predictions;
+  double modeled_seconds = 0.0;
+  std::map<std::string, obs::KernelProfile> kernels;
+};
+
+RunResult run_once(const core::TrainConfig& cfg, int threads) {
+  sim::set_sim_threads(threads);
+  const auto d = make_data();
+  core::GbmoBooster booster(cfg);
+  obs::Profiler profiler(/*capture_trace=*/false);
+  booster.set_sink(&profiler);
+  const auto model = booster.fit(d);
+  RunResult r;
+  r.predictions = model.predict(d.x);
+  r.modeled_seconds = booster.report().modeled_seconds;
+  r.kernels = profiler.kernels();
+  return r;
+}
+
+void expect_stats_equal(const sim::KernelStats& a, const sim::KernelStats& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.gmem_coalesced_bytes, b.gmem_coalesced_bytes) << where;
+  EXPECT_EQ(a.gmem_random_accesses, b.gmem_random_accesses) << where;
+  EXPECT_EQ(a.atomic_global_ops, b.atomic_global_ops) << where;
+  EXPECT_EQ(a.atomic_global_conflicts, b.atomic_global_conflicts) << where;
+  EXPECT_EQ(a.atomic_shared_ops, b.atomic_shared_ops) << where;
+  EXPECT_EQ(a.atomic_shared_conflicts, b.atomic_shared_conflicts) << where;
+  EXPECT_EQ(a.smem_bytes, b.smem_bytes) << where;
+  EXPECT_EQ(a.flops, b.flops) << where;
+  EXPECT_EQ(a.blocks, b.blocks) << where;
+  EXPECT_EQ(a.threads, b.threads) << where;
+  EXPECT_EQ(a.barriers, b.barriers) << where;
+  EXPECT_EQ(a.sort_pairs_bytes, b.sort_pairs_bytes) << where;
+  EXPECT_EQ(a.scan_bytes, b.scan_bytes) << where;
+}
+
+// Bitwise comparison: EXPECT_EQ on floats would already be exact, but memcmp
+// additionally distinguishes -0.0f/0.0f and catches NaN payload changes.
+void expect_runs_identical(const RunResult& base, const RunResult& other,
+                           const std::string& label) {
+  ASSERT_EQ(base.predictions.size(), other.predictions.size()) << label;
+  EXPECT_EQ(std::memcmp(base.predictions.data(), other.predictions.data(),
+                        base.predictions.size() * sizeof(float)),
+            0)
+      << label << ": predictions differ bitwise";
+  EXPECT_EQ(base.modeled_seconds, other.modeled_seconds) << label;
+
+  ASSERT_EQ(base.kernels.size(), other.kernels.size()) << label;
+  for (const auto& [name, prof] : base.kernels) {
+    const auto it = other.kernels.find(name);
+    ASSERT_NE(it, other.kernels.end()) << label << ": kernel " << name;
+    EXPECT_EQ(prof.events, it->second.events) << label << ": " << name;
+    EXPECT_EQ(prof.seconds, it->second.seconds) << label << ": " << name;
+    expect_stats_equal(prof.stats, it->second.stats, label + ": " + name);
+  }
+}
+
+void check_config(core::TrainConfig cfg, const std::string& label) {
+  SimThreadsGuard guard;
+  const auto base = run_once(cfg, 1);
+  for (int threads : {2, 4}) {
+    const auto other = run_once(cfg, threads);
+    expect_runs_identical(base, other,
+                          label + " @ " + std::to_string(threads) + " threads");
+  }
+}
+
+TEST(SimParallel, GlobalHistDeterministic) {
+  auto cfg = small_config();
+  cfg.hist_method = core::HistMethod::kGlobal;
+  check_config(cfg, "gmem");
+}
+
+TEST(SimParallel, SharedHistDeterministic) {
+  auto cfg = small_config();
+  cfg.hist_method = core::HistMethod::kShared;
+  check_config(cfg, "smem");
+}
+
+TEST(SimParallel, SortReduceHistDeterministic) {
+  auto cfg = small_config();
+  cfg.hist_method = core::HistMethod::kSortReduce;
+  check_config(cfg, "sort-reduce");
+}
+
+TEST(SimParallel, AdaptiveHistDeterministic) {
+  auto cfg = small_config();
+  cfg.hist_method = core::HistMethod::kAuto;
+  check_config(cfg, "adaptive");
+}
+
+TEST(SimParallel, CscLevelSweepDeterministic) {
+  auto cfg = small_config();
+  cfg.csc_level_sweep = true;
+  check_config(cfg, "csc-sweep");
+}
+
+TEST(SimParallel, FeatureParallelMultiGpuDeterministic) {
+  auto cfg = small_config();
+  cfg.n_devices = 2;
+  cfg.multi_gpu = core::MultiGpuMode::kFeatureParallel;
+  check_config(cfg, "feature-parallel x2");
+}
+
+// Launch-level check: commit bodies run in block-id order for any worker
+// count, so a deliberately order-sensitive floating-point accumulation is
+// bit-identical at 1 and 4 workers — and the merged counters match exactly.
+TEST(SimParallel, CommitAccumulationMatchesInlinePath) {
+  SimThreadsGuard guard;
+  constexpr int kGrid = 64;
+
+  const auto run = [&](int threads) {
+    sim::set_sim_threads(threads);
+    sim::Device dev(sim::DeviceSpec::rtx4090());
+    // Mix of magnitudes so any reordering of the adds changes the rounding.
+    float total = 0.0f;
+    const auto result =
+        sim::launch(dev, kGrid, /*block_dim=*/32, [&](sim::BlockCtx& blk) {
+          const float contrib =
+              (blk.block_id() % 2 == 0 ? 1.0e-4f : 3.0e3f) *
+              (1.0f + static_cast<float>(blk.block_id()) * 0.37f);
+          blk.stats().flops += 2;
+          blk.commit([&] { total += contrib; });
+        });
+    return std::pair<float, sim::KernelStats>(total, result.stats);
+  };
+
+  const auto [base_total, base_stats] = run(1);
+  const auto [par_total, par_stats] = run(4);
+  EXPECT_EQ(std::memcmp(&base_total, &par_total, sizeof(float)), 0)
+      << "commit accumulation reordered: " << base_total << " vs " << par_total;
+  expect_stats_equal(base_stats, par_stats, "launch stats");
+}
+
+TEST(SimParallel, LaunchPropagatesKernelException) {
+  SimThreadsGuard guard;
+  sim::set_sim_threads(4);
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+  try {
+    // A single failing block: with several failing blocks the best-effort
+    // abort may skip lower ones, making the winning message racy.
+    sim::launch(dev, /*grid_dim=*/32, /*block_dim=*/8, [&](sim::BlockCtx& blk) {
+      if (blk.block_id() == 5) {
+        throw std::runtime_error("block " + std::to_string(blk.block_id()));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "block 5");
+  }
+  // The scheduler is reusable after a failed launch.
+  sim::launch(dev, 8, 8, [](sim::BlockCtx&) {});
+}
+
+}  // namespace
+}  // namespace gbmo

@@ -16,6 +16,7 @@
 #include "data/io.h"
 #include "data/paper_datasets.h"
 #include "data/synthetic.h"
+#include "sim/scheduler.h"
 
 namespace gbmo::cli {
 
@@ -130,6 +131,10 @@ core::TrainConfig parse_train_config(const Args& args) {
       static_cast<int>(args.integer("min-node", cfg.min_instances_per_node));
   cfg.lambda_l2 = static_cast<float>(args.number("lambda", cfg.lambda_l2));
   cfg.n_devices = static_cast<int>(args.integer("devices", cfg.n_devices));
+  cfg.sim_threads = static_cast<int>(args.integer("sim-threads", cfg.sim_threads));
+  // Host-parallelism knob for every system (the baselines don't read
+  // TrainConfig::sim_threads): apply it process-wide right away.
+  if (cfg.sim_threads > 0) sim::set_sim_threads(cfg.sim_threads);
   cfg.subsample = args.number("subsample", cfg.subsample);
   cfg.colsample_bytree = args.number("colsample", cfg.colsample_bytree);
   cfg.early_stopping_rounds =
@@ -171,6 +176,8 @@ void emit_profile(const ProfileOptions& opts, const obs::Profiler& profiler,
                   const sim::DeviceSpec& spec, std::ostream& out) {
   if (opts.profile) {
     out << "\nper-kernel profile (modeled):\n" << profiler.profile_table(&spec);
+    out << "host block-scheduler threads: " << sim::sim_threads()
+        << " (modeled results are thread-count-independent)\n";
   }
   if (!opts.trace_out.empty()) {
     profiler.write_chrome_trace(opts.trace_out);
@@ -391,6 +398,8 @@ int cmd_systems(const Args& args, std::ostream& out) {
                    info.gpu ? "gpu" : "cpu", info.description});
   }
   out << table.to_string();
+  out << "host block-scheduler threads: " << sim::sim_threads()
+      << " (override with --sim-threads or GBMO_SIM_THREADS)\n";
   return 0;
 }
 
@@ -434,6 +443,7 @@ commands:
              [--hist auto|gmem|smem|sort-reduce --no-warp-opt --no-sparsity-aware]
              [--devices N --mgpu feature|data --device 4090|3090|cpu]
              [--subsample F --colsample F --valid FILE --early-stop N]
+             [--sim-threads N]
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
   predict    --model FILE --data FILE --features N --out FILE
   importance --model FILE [--top K --by gain|count]
@@ -445,6 +455,12 @@ commands:
 
 train also accepts --csc (build histograms by streaming binned CSC entries,
 the paper's §3.2 storage path).
+
+--sim-threads N (any command taking train options) sets how many host
+worker threads the simulator's block scheduler uses; the GBMO_SIM_THREADS
+environment variable sets the process default (else hardware concurrency,
+1 = inline). Purely a host-performance knob: modeled seconds, profiles and
+trained models are bit-identical for every value.
 
 train and bench accept --profile (print a per-kernel table of modeled time,
 bytes moved, atomic conflict rates and launch geometry) and --trace-out=FILE
