@@ -13,6 +13,14 @@ cmake -B "$build" -S "$repo" -DCMAKE_CXX_FLAGS=-Werror
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 
+# Race/memory-checker stage: the fast-labeled suite again with the sim
+# substrate's checker forced on (GBMO_SIM_CHECK=1 arms report mode; any
+# violation shows up in the checker suite's zero-violation assertions and the
+# fuzz harness's hard-fail runs). See src/sim/checker.h and DESIGN.md §7.
+GBMO_SIM_CHECK=1 ctest --test-dir "$build" --output-on-failure \
+  -j "$(nproc)" -L fast
+echo "check: sim-check stage OK (fast suite with GBMO_SIM_CHECK=1)"
+
 # Optional ThreadSanitizer stage for the parallel block scheduler and thread
 # pool (GBMO_CHECK_TSAN=0 skips; also skipped when the toolchain can't link
 # -fsanitize=thread, e.g. missing libtsan).
@@ -31,6 +39,27 @@ if [[ "${GBMO_CHECK_TSAN:-1}" != "0" ]]; then
     echo "check: TSan stage OK (ThreadPool + SimParallel under -fsanitize=thread)"
   else
     echo "check: TSan stage skipped (toolchain cannot link -fsanitize=thread)"
+  fi
+fi
+
+# Optional AddressSanitizer stage over the checker's own tests (the shadow
+# bookkeeping plus deliberately out-of-bounds toy kernels must stay
+# memory-safe under suppression) and the data/bin-pack property tests
+# (GBMO_CHECK_ASAN=0 skips; also skipped when the toolchain can't link
+# -fsanitize=address).
+if [[ "${GBMO_CHECK_ASAN:-1}" != "0" ]]; then
+  asan_probe="$(mktemp -d)"
+  trap 'rm -rf "$asan_probe"' EXIT
+  echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
+  if "${CXX:-c++}" -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" 2>/dev/null; then
+    asan_build="${GBMO_CHECK_ASAN_BUILD_DIR:-$repo/build-asan}"
+    cmake -B "$asan_build" -S "$repo" -DGBMO_SANITIZE=address
+    cmake --build "$asan_build" -j "$(nproc)" --target gbmo_tests
+    GBMO_SIM_CHECK=1 ctest --test-dir "$asan_build" --output-on-failure \
+      -R 'SimChecker|QuantizeProperties|BinPackProperties|ModelGolden'
+    echo "check: ASan stage OK (checker + data property tests under -fsanitize=address)"
+  else
+    echo "check: ASan stage skipped (toolchain cannot link -fsanitize=address)"
   fi
 fi
 echo "check: OK (warnings-as-errors build + full test suite)"

@@ -82,8 +82,13 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   GBMO_CHECK(n > 0 && d >= 1);
 
   // Apply the config's host-parallelism knob for this and later runs (0
-  // keeps the process default; results are identical either way).
+  // keeps the process default; results are identical either way). Same for
+  // the race/memory checker — arm it in report mode unless a stronger
+  // process-wide mode (env or set_sim_check) is already active.
   if (config_.sim_threads > 0) sim::set_sim_threads(config_.sim_threads);
+  if (config_.sim_check && !sim::sim_check_enabled()) {
+    sim::set_sim_check(sim::CheckMode::kReport);
+  }
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
   group.set_sink(sink_);

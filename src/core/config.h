@@ -52,6 +52,14 @@ struct TrainConfig {
   // value (see sim/launch.h).
   int sim_threads = 0;
 
+  // Arm the substrate's race & memory checker for this run (sim/checker.h):
+  // shared-memory race, OOB/uninitialized-read and barrier-divergence
+  // detection through the checked accessor views, reported per kernel via
+  // the obs Profiler. Equivalent to --sim-check / GBMO_SIM_CHECK=1; a
+  // process-wide sim::set_sim_check(CheckMode::kFail) override (the tests'
+  // hard-fail mode) is never downgraded by this flag.
+  bool sim_check = false;
+
   // Stochastic boosting (extensions beyond the paper's evaluation setup;
   // both default off = the paper's configuration):
   double subsample = 1.0;          // row fraction sampled per tree
@@ -90,6 +98,7 @@ struct TrainConfig {
     return *this;
   }
   TrainConfig& host_threads(int n) { sim_threads = n; return *this; }
+  TrainConfig& check(bool on = true) { sim_check = on; return *this; }
   TrainConfig& row_subsample(double fraction) { subsample = fraction; return *this; }
   TrainConfig& feature_subsample(double fraction) {
     colsample_bytree = fraction;

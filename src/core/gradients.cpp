@@ -64,9 +64,13 @@ void reduce_gradients(sim::Device& dev, std::span<const float> g,
           static_cast<std::uint64_t>(n_outputs) * 2 * sizeof(float);
       blk.stats().flops += static_cast<std::uint64_t>(n_outputs) * 2;
     });
+    // Checked view over the cross-block totals (race/memory checker;
+    // non-counting — the bulk stats below stay the profile of record).
+    auto totals_v = blk.global_view(totals, "grad_totals");
     blk.commit([&] {
       for (int k = 0; k < n_outputs; ++k) {
-        totals[static_cast<std::size_t>(k)] += partial[static_cast<std::size_t>(k)];
+        totals_v.atomic_add(static_cast<std::size_t>(k),
+                            partial[static_cast<std::size_t>(k)]);
       }
     });
     // The per-block partial flush: d atomic adds per block.

@@ -45,6 +45,20 @@ void build_level_histograms_csc(sim::Device& dev,
     sim::ConflictTracker tracker;
     std::uint64_t conflicts = 0;
 
+    // Checked per-node histogram views (race/memory checker; non-counting —
+    // the bulk tallies below stay the profile of record). Only block 0 ever
+    // writes, so the out-of-commit updates are block-partitioned and clean.
+    std::vector<sim::Global<sim::GradPair>> sums_v;
+    std::vector<sim::Global<std::uint32_t>> counts_v;
+    sums_v.reserve(per_node.size());
+    counts_v.reserve(per_node.size());
+    for (const auto& node : per_node) {
+      sums_v.push_back(blk.global_view(
+          std::span<sim::GradPair>(node.hist->sums), "csc_hist_sums"));
+      counts_v.push_back(blk.global_view(
+          std::span<std::uint32_t>(node.hist->counts), "csc_hist_counts"));
+    }
+
     for (std::uint32_t f : features) {
       const auto rows = csc.col_rows(f);
       const auto bins = csc.col_bins(f);
@@ -56,15 +70,15 @@ void build_level_histograms_csc(sim::Device& dev,
         const std::size_t base = layout.slot(f, bins[i], 0);
         conflicts += tracker.note(
             (static_cast<std::uintptr_t>(slot) << 32) ^ base);
-        NodeHistogram& hist = *per_node[static_cast<std::size_t>(slot)].hist;
         const float* gi = g.data() + static_cast<std::size_t>(rows[i]) * d;
         const float* hi = h.data() + static_cast<std::size_t>(rows[i]) * d;
-        sim::GradPair* cell = hist.sums.data() + base;
+        auto& node_sums = sums_v[static_cast<std::size_t>(slot)];
         for (int k = 0; k < d; ++k) {
-          cell[k].g += gi[k];
-          cell[k].h += hi[k];
+          node_sums.atomic_add(base + static_cast<std::size_t>(k),
+                               sim::GradPair{gi[k], hi[k]});
         }
-        ++hist.counts[layout.bin_index(f, bins[i])];
+        counts_v[static_cast<std::size_t>(slot)].atomic_add(
+            layout.bin_index(f, bins[i]), 1u);
       }
     }
 

@@ -79,6 +79,13 @@ class GlobalBuilder final : public HistogramBuilder {
         ++local_counts[bin];
       }
 
+      // Checked views over the cross-block histogram (race/memory checker;
+      // non-counting — the bulk tallies below stay the profile of record).
+      auto sums_v =
+          blk.global_view(std::span<sim::GradPair>(out.sums), "hist_sums");
+      auto counts_v =
+          blk.global_view(std::span<std::uint32_t>(out.counts), "hist_counts");
+
       blk.commit([&] {
         for (int b = 0; b < n_bins; ++b) {
           if (local_counts[static_cast<std::size_t>(b)] == 0) continue;
@@ -86,13 +93,11 @@ class GlobalBuilder final : public HistogramBuilder {
           const std::size_t lbase =
               static_cast<std::size_t>(b) * static_cast<std::size_t>(d);
           for (int k = 0; k < d; ++k) {
-            out.sums[gbase + static_cast<std::size_t>(k)].g +=
-                local[lbase + static_cast<std::size_t>(k)].g;
-            out.sums[gbase + static_cast<std::size_t>(k)].h +=
-                local[lbase + static_cast<std::size_t>(k)].h;
+            sums_v.atomic_add(gbase + static_cast<std::size_t>(k),
+                              local[lbase + static_cast<std::size_t>(k)]);
           }
-          out.counts[layout.bin_index(f, b)] +=
-              local_counts[static_cast<std::size_t>(b)];
+          counts_v.atomic_add(layout.bin_index(f, b),
+                              local_counts[static_cast<std::size_t>(b)]);
         }
       });
 

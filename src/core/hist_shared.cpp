@@ -92,6 +92,17 @@ class SharedBuilder final : public HistogramBuilder {
       tile.assign(tile_size, sim::GradPair{});
       tile_counts.assign(static_cast<std::size_t>(bin_hi - bin_lo), 0);
 
+      // Checked views (race/memory checker; non-counting — the bulk tallies
+      // below stay the profile of record). The tiles were zero-filled above,
+      // the global histogram accumulates across blocks under commit.
+      auto tile_v = blk.shared_view(tile, "hist_tile", sim::SharedInit::kZeroed);
+      auto tile_counts_v = blk.shared_view(tile_counts, "hist_tile_counts",
+                                           sim::SharedInit::kZeroed);
+      auto sums_v =
+          blk.global_view(std::span<sim::GradPair>(out.sums), "hist_sums");
+      auto counts_v =
+          blk.global_view(std::span<std::uint32_t>(out.counts), "hist_counts");
+
       detail::BuildTally tally;
       sim::ConflictTracker tracker;
       std::uint64_t smem_updates = 0;
@@ -110,10 +121,10 @@ class SharedBuilder final : public HistogramBuilder {
         const float* gi = in.g.data() + row * static_cast<std::size_t>(d);
         const float* hi = in.h.data() + row * static_cast<std::size_t>(d);
         for (int k = 0; k < d; ++k) {
-          tile[base + static_cast<std::size_t>(k)].g += gi[k];
-          tile[base + static_cast<std::size_t>(k)].h += hi[k];
+          tile_v.atomic_add(base + static_cast<std::size_t>(k),
+                            sim::GradPair{gi[k], hi[k]});
         }
-        ++tile_counts[static_cast<std::size_t>(bin - bin_lo)];
+        tile_counts_v.atomic_add(static_cast<std::size_t>(bin - bin_lo), 1u);
         ++smem_updates;
       }
 
@@ -127,16 +138,15 @@ class SharedBuilder final : public HistogramBuilder {
         for (int b = bin_lo; b < bin_hi; ++b) {
           const std::size_t tbase =
               static_cast<std::size_t>(b - bin_lo) * static_cast<std::size_t>(d);
-          if (tile_counts[static_cast<std::size_t>(b - bin_lo)] == 0) continue;
+          const std::uint32_t bin_count =
+              tile_counts_v.load(static_cast<std::size_t>(b - bin_lo));
+          if (bin_count == 0) continue;
           const std::size_t gbase = layout.slot(f, b, 0);
           for (int k = 0; k < d; ++k) {
-            out.sums[gbase + static_cast<std::size_t>(k)].g +=
-                tile[tbase + static_cast<std::size_t>(k)].g;
-            out.sums[gbase + static_cast<std::size_t>(k)].h +=
-                tile[tbase + static_cast<std::size_t>(k)].h;
+            sums_v.atomic_add(gbase + static_cast<std::size_t>(k),
+                              tile_v.load(tbase + static_cast<std::size_t>(k)));
           }
-          out.counts[layout.bin_index(f, b)] +=
-              tile_counts[static_cast<std::size_t>(b - bin_lo)];
+          counts_v.atomic_add(layout.bin_index(f, b), bin_count);
           flushed += static_cast<std::uint64_t>(d);
         }
       });

@@ -126,14 +126,21 @@ class SortReduceBuilder final : public HistogramBuilder {
         ++run_counts.back();
         ++accum;
       }
+      // Checked views over the cross-block histogram (race/memory checker;
+      // non-counting — the bulk tallies below stay the profile of record).
+      auto sums_v =
+          blk.global_view(std::span<sim::GradPair>(out.sums), "hist_sums");
+      auto counts_v =
+          blk.global_view(std::span<std::uint32_t>(out.counts), "hist_counts");
       blk.commit([&] {
         for (std::size_t r = 0; r < run_bins.size(); ++r) {
-          sim::GradPair* slot =
-              out.sums.data() + run_bins[r] * static_cast<std::size_t>(d);
+          const std::size_t gbase = run_bins[r] * static_cast<std::size_t>(d);
           const sim::GradPair* src =
               run_sums.data() + r * static_cast<std::size_t>(d);
-          for (int k = 0; k < d; ++k) slot[k] += src[k];
-          out.counts[run_bins[r]] += run_counts[r];
+          for (int k = 0; k < d; ++k) {
+            sums_v.atomic_add(gbase + static_cast<std::size_t>(k), src[k]);
+          }
+          counts_v.atomic_add(run_bins[r], run_counts[r]);
         }
       });
       auto& s = blk.stats();

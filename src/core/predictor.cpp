@@ -18,6 +18,10 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
   constexpr int kBlock = 256;
   sim::launch(dev, "update_scores", std::max(1, sim::blocks_for(n, kBlock)),
               kBlock, [&](sim::BlockCtx& blk) {
+    // Checked view (race/memory checker; non-counting — the bulk stats
+    // below stay the profile of record): the writes are block-partitioned
+    // by instance, which the checker verifies.
+    auto scores_v = blk.global_view(scores, "scores");
     blk.threads([&](int tid) {
       const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                             static_cast<std::size_t>(tid);
@@ -26,8 +30,11 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
       GBMO_DCHECK(leaf >= 0);
       const auto values = tree.leaf_values(tree.node(static_cast<std::size_t>(leaf)));
       if (apply) {
-        float* dst = scores.data() + i * static_cast<std::size_t>(d);
-        for (int k = 0; k < d; ++k) dst[k] += values[static_cast<std::size_t>(k)];
+        const std::size_t off = i * static_cast<std::size_t>(d);
+        for (int k = 0; k < d; ++k) {
+          scores_v.add(off + static_cast<std::size_t>(k),
+                       values[static_cast<std::size_t>(k)]);
+        }
       }
       auto& s = blk.stats();
       s.gmem_coalesced_bytes += sizeof(std::int32_t) +
@@ -40,9 +47,12 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
 
 namespace {
 
-// Traverses one tree for one instance, charging one random access per level.
-inline void traverse_and_add(const Tree& tree, std::span<const float> row,
-                             float* dst, sim::KernelStats& s) {
+// Traverses one tree for one instance, charging one random access per level;
+// returns the reached leaf's d-wide value vector (the caller accumulates it,
+// through a checked view where the target is cross-block state).
+inline std::span<const float> traverse(const Tree& tree,
+                                       std::span<const float> row,
+                                       sim::KernelStats& s) {
   std::int32_t id = 0;
   int levels = 0;
   while (!tree.node(static_cast<std::size_t>(id)).is_leaf()) {
@@ -52,10 +62,10 @@ inline void traverse_and_add(const Tree& tree, std::span<const float> row,
     ++levels;
   }
   const auto values = tree.leaf_values(tree.node(static_cast<std::size_t>(id)));
-  for (std::size_t k = 0; k < values.size(); ++k) dst[k] += values[k];
   s.gmem_random_accesses += static_cast<std::uint64_t>(levels) * 2 + 1;
   s.gmem_coalesced_bytes += values.size() * 2 * sizeof(float);
   s.flops += values.size();
+  return values;
 }
 
 }  // namespace
@@ -89,35 +99,46 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
       std::vector<float> local(
           (row_hi > row_lo ? row_hi - row_lo : 0) * static_cast<std::size_t>(d),
           0.0f);
+      // Blocks covering the same instance chunk for different trees all
+      // accumulate into the same score words: cross-block shared state,
+      // staged privately and flushed under commit (checker-verified).
+      auto scores_v = blk.global_view(scores, "scores");
       blk.threads([&](int tid) {
         const std::size_t i = row_lo + static_cast<std::size_t>(tid);
         if (i >= n) return;
-        traverse_and_add(trees[t], x.row(i),
-                         local.data() + (i - row_lo) * static_cast<std::size_t>(d),
-                         blk.stats());
+        const auto values = traverse(trees[t], x.row(i), blk.stats());
+        float* dst = local.data() + (i - row_lo) * static_cast<std::size_t>(d);
+        for (std::size_t k = 0; k < values.size(); ++k) dst[k] += values[k];
         blk.stats().atomic_global_ops += static_cast<std::uint64_t>(d) / 4 + 1;
       });
       blk.commit([&] {
         for (std::size_t i = row_lo; i < row_hi; ++i) {
-          float* dst = scores.data() + i * static_cast<std::size_t>(d);
+          const std::size_t off = i * static_cast<std::size_t>(d);
           const float* src = local.data() + (i - row_lo) * static_cast<std::size_t>(d);
-          for (int k = 0; k < d; ++k) dst[k] += src[k];
+          for (int k = 0; k < d; ++k) {
+            scores_v.atomic_add(off + static_cast<std::size_t>(k), src[k]);
+          }
         }
       });
     });
     return;
   }
 
-  // Instance-parallel: one launch per tree, one thread per instance.
+  // Instance-parallel: one launch per tree, one thread per instance. Score
+  // writes are block-partitioned (disjoint rows), so they may bypass commit
+  // — the checked view verifies exactly that.
   for (const auto& tree : trees) {
     sim::launch(dev, "predict_trees", chunks, kBlock, [&](sim::BlockCtx& blk) {
+      auto scores_v = blk.global_view(scores, "scores");
       blk.threads([&](int tid) {
         const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                               static_cast<std::size_t>(tid);
         if (i >= n) return;
-        traverse_and_add(tree, x.row(i),
-                         scores.data() + i * static_cast<std::size_t>(d),
-                         blk.stats());
+        const auto values = traverse(tree, x.row(i), blk.stats());
+        const std::size_t off = i * static_cast<std::size_t>(d);
+        for (std::size_t k = 0; k < values.size(); ++k) {
+          scores_v.add(off + k, values[k]);
+        }
       });
     });
   }
@@ -136,13 +157,17 @@ void CachedPredictor::append_tree(const Tree& tree) {
   constexpr int kBlock = 256;
   sim::launch(dev_, "predict_cached", std::max(1, sim::blocks_for(x_.n_rows(), kBlock)),
               kBlock, [&](sim::BlockCtx& blk) {
+    auto scores_v =
+        blk.global_view(std::span<float>(scores_), "cached_scores");
     blk.threads([&](int tid) {
       const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                             static_cast<std::size_t>(tid);
       if (i >= x_.n_rows()) return;
-      traverse_and_add(tree, x_.row(i),
-                       scores_.data() + i * static_cast<std::size_t>(n_outputs_),
-                       blk.stats());
+      const auto values = traverse(tree, x_.row(i), blk.stats());
+      const std::size_t off = i * static_cast<std::size_t>(n_outputs_);
+      for (std::size_t k = 0; k < values.size(); ++k) {
+        scores_v.add(off + k, values[k]);
+      }
       leaf_map[i] = tree.find_leaf(x_.row(i));
     });
   });

@@ -101,6 +101,12 @@ sim::KernelStats Profiler::total_stats() const {
   return total;
 }
 
+std::uint64_t Profiler::total_check_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, k] : kernels_) total += k.stats.check_violations;
+  return total;
+}
+
 double Profiler::total_seconds() const {
   double s = 0.0;
   for (const auto& [name, k] : kernels_) s += k.seconds;

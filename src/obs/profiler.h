@@ -69,6 +69,11 @@ class Profiler : public sim::StatsSink {
   // Counter totals over every kernel (equals Device::total_stats() summed
   // over attached devices).
   sim::KernelStats total_stats() const;
+  // Race/memory-checker findings summed over every kernel
+  // (KernelStats::check_violations; see sim/checker.h) — 0 unless
+  // --sim-check was armed and a kernel violated. Per-kernel counts are in
+  // kernels().at(name).stats.check_violations.
+  std::uint64_t total_check_violations() const;
   // Modeled seconds summed over every kernel and device.
   double total_seconds() const;
   // Modeled seconds charged on one device / the busiest device. With one

@@ -1,0 +1,434 @@
+#include "sim/checker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <tuple>
+
+namespace gbmo::sim {
+
+namespace {
+
+// Stored-violation cap per block: a racy inner loop would otherwise record
+// one finding per iteration. Findings past the cap are still counted.
+constexpr std::size_t kMaxStoredPerBlock = 64;
+
+std::atomic<int> g_check_override{-1};  // -1 = use the env default
+
+}  // namespace
+
+CheckMode parse_check_env(const char* value) {
+  if (value == nullptr) return CheckMode::kOff;
+  if (std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+      std::strcmp(value, "report") == 0) {
+    return CheckMode::kReport;
+  }
+  if (std::strcmp(value, "2") == 0 || std::strcmp(value, "fail") == 0) {
+    return CheckMode::kFail;
+  }
+  return CheckMode::kOff;
+}
+
+CheckMode default_sim_check() {
+  static const CheckMode v = parse_check_env(std::getenv("GBMO_SIM_CHECK"));
+  return v;
+}
+
+CheckMode sim_check_mode() {
+  const int v = g_check_override.load(std::memory_order_relaxed);
+  return v >= 0 ? static_cast<CheckMode>(v) : default_sim_check();
+}
+
+void set_sim_check(CheckMode mode) {
+  g_check_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void reset_sim_check() {
+  g_check_override.store(-1, std::memory_order_relaxed);
+}
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kSharedRace: return "shared-race";
+    case ViolationKind::kSharedOob: return "shared-oob";
+    case ViolationKind::kSharedUninit: return "shared-uninit";
+    case ViolationKind::kGlobalRace: return "global-race";
+    case ViolationKind::kGlobalOob: return "global-oob";
+    case ViolationKind::kBarrierDivergence: return "barrier-divergence";
+  }
+  return "unknown";
+}
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  os << violation_kind_name(kind) << " " << kernel << ":" << site << "["
+     << index << "] block " << block;
+  if (lane >= 0) os << " lane " << lane;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+namespace {
+std::string fail_message(const Violation& first, std::uint64_t total) {
+  std::ostringstream os;
+  os << "sim-check failed: " << total << " violation(s); first: "
+     << first.describe();
+  return os.str();
+}
+}  // namespace
+
+SimCheckError::SimCheckError(const Violation& first, std::uint64_t total)
+    : Error(fail_message(first, total)), first_(first), total_(total) {}
+
+// --- CheckReport -------------------------------------------------------------
+
+CheckReport& CheckReport::instance() {
+  static CheckReport* report = new CheckReport();
+  return *report;
+}
+
+void CheckReport::record(const std::string& kernel,
+                         const std::vector<Violation>& stored,
+                         std::uint64_t dropped) {
+  if (stored.empty() && dropped == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = kernels_[kernel];
+  e.total += stored.size() + dropped;
+  for (const auto& v : stored) {
+    ++e.by_kind[static_cast<int>(v.kind)];
+  }
+  if (!e.first && !stored.empty()) {
+    e.first = std::make_unique<Violation>(stored.front());
+  }
+}
+
+std::uint64_t CheckReport::total_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, e] : kernels_) total += e.total;
+  return total;
+}
+
+std::uint64_t CheckReport::kernel_violations(const std::string& kernel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = kernels_.find(kernel);
+  return it == kernels_.end() ? 0 : it->second.total;
+}
+
+std::uint64_t CheckReport::kind_violations(ViolationKind k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, e] : kernels_) total += e.by_kind[static_cast<int>(k)];
+  return total;
+}
+
+std::vector<Violation> CheckReport::first_offenders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Violation> out;
+  for (const auto& [name, e] : kernels_) {
+    if (e.first) out.push_back(*e.first);
+  }
+  return out;
+}
+
+std::string CheckReport::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, e] : kernels_) total += e.total;
+  std::ostringstream os;
+  if (total == 0) {
+    os << "sim-check: clean (0 violations)\n";
+    return os.str();
+  }
+  os << "sim-check: " << total << " violation(s) in " << kernels_.size()
+     << " kernel(s)\n";
+  for (const auto& [name, e] : kernels_) {
+    os << "  " << name << ": " << e.total << " (";
+    bool first_kind = true;
+    for (int k = 0; k < kViolationKindCount; ++k) {
+      if (e.by_kind[k] == 0) continue;
+      if (!first_kind) os << ", ";
+      os << violation_kind_name(static_cast<ViolationKind>(k)) << ": "
+         << e.by_kind[k];
+      first_kind = false;
+    }
+    os << ")";
+    if (e.first) os << "; first: " << e.first->describe();
+    os << "\n";
+  }
+  return os.str();
+}
+
+void CheckReport::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kernels_.clear();
+}
+
+// --- BlockCheck --------------------------------------------------------------
+
+BlockCheck::BlockCheck(LaunchCheck& launch, int block_id, int block_dim)
+    : launch_(launch), block_id_(block_id), block_dim_(block_dim) {}
+
+BlockCheck::~BlockCheck() {
+  if (phase_active_) end_phase();
+  launch_.deposit(block_id_, std::move(violations_), dropped_);
+}
+
+void BlockCheck::add_violation(ViolationKind kind, const char* site,
+                               std::size_t index, std::string detail) {
+  if (violations_.size() >= kMaxStoredPerBlock) {
+    ++dropped_;
+    return;
+  }
+  Violation v;
+  v.kind = kind;
+  v.site = site;
+  v.block = block_id_;
+  v.lane = lane_;
+  v.index = index;
+  v.detail = std::move(detail);
+  violations_.push_back(std::move(v));
+}
+
+void BlockCheck::begin_phase(const char* site, int n_lanes) {
+  phase_active_ = true;
+  phase_site_ = site;
+  phase_syncs_.assign(static_cast<std::size_t>(std::max(n_lanes, 0)), 0);
+}
+
+void BlockCheck::end_phase() {
+  if (phase_active_ && !phase_syncs_.empty()) {
+    const auto [lo, hi] =
+        std::minmax_element(phase_syncs_.begin(), phase_syncs_.end());
+    if (*lo != *hi) {
+      lane_ = -1;  // the finding belongs to the phase, not one lane
+      std::ostringstream os;
+      os << "lanes reached between " << *lo << " and " << *hi
+         << " barriers in one phase of " << phase_syncs_.size() << " lanes";
+      add_violation(ViolationKind::kBarrierDivergence, phase_site_, 0,
+                    os.str());
+    }
+  }
+  phase_active_ = false;
+  phase_site_ = "";
+  lane_ = -1;
+}
+
+void BlockCheck::on_sync() {
+  ++epoch_;
+  if (phase_active_ && lane_ >= 0 &&
+      static_cast<std::size_t>(lane_) < phase_syncs_.size()) {
+    ++phase_syncs_[static_cast<std::size_t>(lane_)];
+  }
+}
+
+BlockCheck::SharedRegion* BlockCheck::shared_region(const void* base,
+                                                    std::size_t words,
+                                                    const char* name,
+                                                    SharedInit init) {
+  for (auto& r : shared_) {
+    if (r->base == base && r->words.size() >= words) return r.get();
+  }
+  auto region = std::make_unique<SharedRegion>();
+  region->base = base;
+  region->name = name;
+  region->init = init;
+  region->words.resize(words);
+  shared_.push_back(std::move(region));
+  return shared_.back().get();
+}
+
+bool BlockCheck::on_shared_load(SharedRegion* r, std::size_t i) {
+  if (i >= r->words.size()) {
+    std::ostringstream os;
+    os << "load past end of " << r->words.size() << "-word region";
+    add_violation(ViolationKind::kSharedOob, r->name, i, os.str());
+    return false;
+  }
+  SharedWord& w = r->words[i];
+  if (!w.written && r->init == SharedInit::kUndefined) {
+    add_violation(ViolationKind::kSharedUninit, r->name, i,
+                  "read of a word never written since declaration");
+    w.written = true;  // report each word once
+  }
+  // Same-epoch write -> read by a different lane, unless the write was
+  // atomic (the atomic exemption).
+  if (w.writer_lane >= 0 && w.write_epoch == epoch_ && lane_ >= 0 &&
+      w.writer_lane != lane_ && !w.write_atomic) {
+    std::ostringstream os;
+    os << "read in epoch " << epoch_ << " of a word lane " << w.writer_lane
+       << " wrote in the same epoch (missing sync?)";
+    add_violation(ViolationKind::kSharedRace, r->name, i, os.str());
+  }
+  if (lane_ >= 0) {
+    if (w.reader_lo == SharedWord::kNoAccess || w.read_epoch != epoch_) {
+      w.reader_lo = w.reader_hi = lane_;
+    } else {
+      w.reader_lo = std::min(w.reader_lo, lane_);
+      w.reader_hi = std::max(w.reader_hi, lane_);
+    }
+    w.read_epoch = epoch_;
+  }
+  return true;
+}
+
+bool BlockCheck::on_shared_store(SharedRegion* r, std::size_t i, bool atomic) {
+  if (i >= r->words.size()) {
+    std::ostringstream os;
+    os << "store past end of " << r->words.size() << "-word region";
+    add_violation(ViolationKind::kSharedOob, r->name, i, os.str());
+    return false;
+  }
+  SharedWord& w = r->words[i];
+  // Same-epoch write -> write by a different lane, unless both atomic.
+  if (w.writer_lane >= 0 && w.write_epoch == epoch_ && lane_ >= 0 &&
+      w.writer_lane != lane_ && !(atomic && w.write_atomic)) {
+    std::ostringstream os;
+    os << (atomic == w.write_atomic ? "non-atomic" : "mixed atomic/plain")
+       << " write in epoch " << epoch_ << " to a word lane " << w.writer_lane
+       << " wrote in the same epoch";
+    add_violation(ViolationKind::kSharedRace, r->name, i, os.str());
+  }
+  // Same-epoch read -> write hazard: another lane read this word in the
+  // current epoch, so the value it saw depends on lane ordering.
+  if (w.reader_lo != SharedWord::kNoAccess && w.read_epoch == epoch_ &&
+      lane_ >= 0 && (w.reader_lo != lane_ || w.reader_hi != lane_)) {
+    std::ostringstream os;
+    os << "write in epoch " << epoch_ << " to a word lanes [" << w.reader_lo
+       << ".." << w.reader_hi << "] read in the same epoch";
+    add_violation(ViolationKind::kSharedRace, r->name, i, os.str());
+  }
+  w.writer_lane = lane_;
+  w.write_epoch = epoch_;
+  w.write_atomic = atomic;
+  w.written = true;
+  return true;
+}
+
+GlobalRegionShadow* BlockCheck::global_region(const void* base,
+                                              std::size_t words,
+                                              const char* name) {
+  return launch_.global_region(base, words, name);
+}
+
+bool BlockCheck::on_global_load(GlobalRegionShadow* r, std::size_t i) {
+  if (i >= r->words) {
+    std::ostringstream os;
+    os << "load past end of " << r->words << "-word region";
+    add_violation(ViolationKind::kGlobalOob, r->name, i, os.str());
+    return false;
+  }
+  launch_.note_global(r, i, block_id_, /*write=*/false, in_commit_);
+  return true;
+}
+
+bool BlockCheck::on_global_store(GlobalRegionShadow* r, std::size_t i,
+                                 bool atomic) {
+  (void)atomic;  // in the simulator even atomics outside commit reorder
+  if (i >= r->words) {
+    std::ostringstream os;
+    os << "store past end of " << r->words << "-word region";
+    add_violation(ViolationKind::kGlobalOob, r->name, i, os.str());
+    return false;
+  }
+  launch_.note_global(r, i, block_id_, /*write=*/true, in_commit_);
+  return true;
+}
+
+// --- LaunchCheck -------------------------------------------------------------
+
+LaunchCheck::LaunchCheck(std::string kernel, int grid_dim)
+    : kernel_(std::move(kernel)),
+      per_block_(static_cast<std::size_t>(std::max(grid_dim, 0))),
+      per_block_dropped_(static_cast<std::size_t>(std::max(grid_dim, 0)), 0) {}
+
+GlobalRegionShadow* LaunchCheck::global_region(const void* base,
+                                               std::size_t words,
+                                               const char* name) {
+  std::lock_guard<std::mutex> lock(regions_mu_);
+  // Dedup by base pointer so every block shares one shadow. A larger view
+  // over the same base gets its own region (never happens with the kernels'
+  // whole-container views; growing a live shadow would race with readers).
+  for (auto& r : regions_) {
+    if (r->base == base && r->words >= words) return r.get();
+  }
+  auto region = std::make_unique<GlobalRegionShadow>();
+  region->base = base;
+  region->words = words;
+  region->name = name;
+  region->shadow = std::make_unique<GlobalWordShadow[]>(words);
+  regions_.push_back(std::move(region));
+  return regions_.back().get();
+}
+
+void LaunchCheck::note_global(GlobalRegionShadow* r, std::size_t i, int block,
+                              bool write, bool in_commit) {
+  GlobalWordShadow& w = r->shadow[i];
+  std::int32_t cur = w.touch_min.load(std::memory_order_relaxed);
+  while (block < cur && !w.touch_min.compare_exchange_weak(
+                            cur, block, std::memory_order_relaxed)) {
+  }
+  cur = w.touch_max.load(std::memory_order_relaxed);
+  while (block > cur && !w.touch_max.compare_exchange_weak(
+                            cur, block, std::memory_order_relaxed)) {
+  }
+  if (write) {
+    // bit 1: written at all; bit 0: written outside BlockCtx::commit.
+    w.flags.fetch_or(in_commit ? std::uint8_t{2} : std::uint8_t{3},
+                     std::memory_order_relaxed);
+  }
+}
+
+void LaunchCheck::deposit(int block_id, std::vector<Violation> found,
+                          std::uint64_t dropped) {
+  const auto b = static_cast<std::size_t>(block_id);
+  if (b >= per_block_.size()) return;
+  per_block_[b] = std::move(found);       // each block owns its slot
+  per_block_dropped_[b] = dropped;
+}
+
+std::uint64_t LaunchCheck::finish() {
+  // Per-block findings in block-id order: deterministic for every worker
+  // count, since each block's own list is produced single-threaded.
+  for (std::size_t b = 0; b < per_block_.size(); ++b) {
+    for (auto& v : per_block_[b]) merged_.push_back(std::move(v));
+    dropped_total_ += per_block_dropped_[b];
+  }
+  // Global-region races from the shadows' final state. The state is reached
+  // by min/max/OR accumulation, so it is interleaving-independent; sorting
+  // by (site, index) makes the ordering registration-order-independent too.
+  std::vector<Violation> region_findings;
+  for (const auto& r : regions_) {
+    for (std::size_t i = 0; i < r->words; ++i) {
+      const GlobalWordShadow& w = r->shadow[i];
+      const std::uint8_t flags = w.flags.load(std::memory_order_relaxed);
+      const std::int32_t lo = w.touch_min.load(std::memory_order_relaxed);
+      const std::int32_t hi = w.touch_max.load(std::memory_order_relaxed);
+      if ((flags & 1) != 0 && lo != hi) {
+        Violation v;
+        v.kind = ViolationKind::kGlobalRace;
+        v.site = r->name;
+        v.block = lo;
+        v.lane = -1;
+        v.index = i;
+        std::ostringstream os;
+        os << "word touched by blocks " << lo << ".." << hi
+           << " with a write outside commit";
+        v.detail = os.str();
+        region_findings.push_back(std::move(v));
+      }
+    }
+  }
+  std::sort(region_findings.begin(), region_findings.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.site, a.index, a.detail) <
+                     std::tie(b.site, b.index, b.detail);
+            });
+  for (auto& v : region_findings) merged_.push_back(std::move(v));
+  for (auto& v : merged_) v.kernel = kernel_;
+  CheckReport::instance().record(kernel_, merged_, dropped_total_);
+  return merged_.size() + dropped_total_;
+}
+
+}  // namespace gbmo::sim

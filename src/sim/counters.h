@@ -43,6 +43,12 @@ struct KernelStats {
   std::uint64_t sort_pairs_bytes = 0;
   std::uint64_t scan_bytes = 0;
 
+  // Race/memory-checker findings for this launch (sim/checker.h); always 0
+  // when the checker is off or the kernel is clean. Carried here so per-
+  // kernel violation counts flow through the normal charge -> sink path to
+  // the obs Profiler. The cost model ignores it.
+  std::uint64_t check_violations = 0;
+
   KernelStats& operator+=(const KernelStats& o) {
     gmem_coalesced_bytes += o.gmem_coalesced_bytes;
     gmem_random_accesses += o.gmem_random_accesses;
@@ -57,6 +63,7 @@ struct KernelStats {
     barriers += o.barriers;
     sort_pairs_bytes += o.sort_pairs_bytes;
     scan_bytes += o.scan_bytes;
+    check_violations += o.check_violations;
     return *this;
   }
 };

@@ -75,6 +75,9 @@ class Device {
   // --- cumulative event counters -----------------------------------------
   void add_stats(const KernelStats& s);
   const KernelStats& total_stats() const { return total_stats_; }
+  // Race/memory-checker findings charged to this device (sim/checker.h);
+  // 0 unless the checker was armed and a kernel violated.
+  std::uint64_t check_violations() const { return total_stats_.check_violations; }
   // Counters + modeled time in one call: the charge reaches an attached sink
   // as a single event (one kernel launch / primitive / transfer).
   void charge_kernel(const KernelStats& s, double seconds);

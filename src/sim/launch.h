@@ -31,10 +31,13 @@
 
 #include <cstdint>
 #include <exception>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "sim/accessors.h"
+#include "sim/checker.h"
 #include "sim/cost_model.h"
 #include "sim/counters.h"
 #include "sim/device.h"
@@ -46,40 +49,58 @@ namespace gbmo::sim {
 class BlockCtx {
  public:
   BlockCtx(int block_id, int block_dim, int grid_dim, int warp_size,
-           KernelStats& stats, BlockSequencer* seq = nullptr)
+           KernelStats& stats, BlockSequencer* seq = nullptr,
+           BlockCheck* check = nullptr)
       : block_id_(block_id),
         block_dim_(block_dim),
         grid_dim_(grid_dim),
         warp_size_(warp_size),
         stats_(stats),
-        seq_(seq) {}
+        seq_(seq),
+        check_(check) {}
 
   int block_id() const { return block_id_; }
   int block_dim() const { return block_dim_; }
   int grid_dim() const { return grid_dim_; }
   KernelStats& stats() { return stats_; }
 
-  // Runs body(tid) for every thread in the block (one phase).
+  // Runs body(tid) for every thread in the block (one phase). When the
+  // checker is armed, each tid is a lane for race attribution and
+  // barrier-divergence counting.
   template <typename F>
   void threads(F&& body) {
-    for (int tid = 0; tid < block_dim_; ++tid) body(tid);
+    if (check_ != nullptr) check_->begin_phase("threads", block_dim_);
+    for (int tid = 0; tid < block_dim_; ++tid) {
+      if (check_ != nullptr) check_->set_lane(tid);
+      body(tid);
+    }
+    if (check_ != nullptr) check_->end_phase();
   }
 
   // Runs body(warp) for every warp in the block. The warp context carries
-  // lane-cooperative helpers (reductions, ballots) with their costs.
+  // lane-cooperative helpers (reductions, ballots) with their costs. The
+  // checker attributes accesses at warp granularity here (lane = warp id):
+  // intra-warp ordering is lockstep on hardware, cross-warp is not.
   template <typename F>
   void warps(F&& body) {
     const int n_warps = (block_dim_ + warp_size_ - 1) / warp_size_;
+    if (check_ != nullptr) check_->begin_phase("warps", n_warps);
     for (int w = 0; w < n_warps; ++w) {
       const int lanes = std::min(warp_size_, block_dim_ - w * warp_size_);
+      if (check_ != nullptr) check_->set_lane(w);
       WarpCtx ctx(w, lanes, warp_size_, stats_);
       body(ctx);
     }
+    if (check_ != nullptr) check_->end_phase();
   }
 
   // Block-wide barrier. Phases already execute in order, so this only
-  // records the synchronization cost.
-  void sync() { ++stats_.barriers; }
+  // records the synchronization cost — and, when the checker is armed,
+  // bumps the shared-memory epoch and the calling lane's barrier count.
+  void sync() {
+    ++stats_.barriers;
+    if (check_ != nullptr) check_->on_sync();
+  }
 
   // Runs `body` as this block's cross-block side-effect phase. Anything a
   // real kernel would write through global-memory atomics (histogram
@@ -88,11 +109,30 @@ class BlockCtx {
   // worker count, which is what keeps floating-point accumulation — and so
   // every trained model — bit-identical across --sim-threads settings.
   // Runs inline (synchronously) on the block's worker; block-private state
-  // captured by reference stays valid.
+  // captured by reference stays valid. The checker treats global writes
+  // outside this scope as racy unless block-partitioned.
   template <typename F>
   void commit(F&& body) {
     if (seq_ != nullptr) seq_->wait_turn(block_id_);
+    if (check_ != nullptr) check_->begin_commit();
     body();
+    if (check_ != nullptr) check_->end_commit();
+  }
+
+  // --- checked views --------------------------------------------------------
+  // Non-counting accessor views observed by the race/memory checker when it
+  // is armed (see sim/accessors.h). With the checker off they are plain
+  // passthroughs, so kernels can route functional accesses through them
+  // unconditionally without perturbing the modeled stats.
+  template <typename T>
+  Global<T> global_view(std::span<T> data, const char* name) {
+    return Global<T>(data, check_, name);
+  }
+
+  template <typename T>
+  Shared<T> shared_view(std::vector<T>& storage, const char* name,
+                        SharedInit init = SharedInit::kUndefined) {
+    return Shared<T>(storage, check_, name, init);
   }
 
  private:
@@ -102,6 +142,7 @@ class BlockCtx {
   int warp_size_;
   KernelStats& stats_;
   BlockSequencer* seq_;
+  BlockCheck* check_;
 };
 
 struct LaunchResult {
@@ -121,12 +162,23 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
   merged.threads = static_cast<std::uint64_t>(grid_dim) * block_dim;
   const int warp_size = dev.spec().warp_size;
 
+  // Race/memory checker (sim/checker.h): one LaunchCheck per launch, one
+  // BlockCheck per block. The kernel label is whatever KernelTag is active
+  // (the named launch() overload applies it before delegating here).
+  std::unique_ptr<LaunchCheck> lc;
+  if (sim_check_enabled()) {
+    lc = std::make_unique<LaunchCheck>(dev.kernel(), grid_dim);
+  }
+
   const int n_workers = launch_workers(grid_dim);
   if (n_workers <= 1) {
     // Inline path: blocks execute sequentially in block-id order on the
     // calling thread. commit() bodies run immediately — already in order.
     for (int b = 0; b < grid_dim; ++b) {
-      BlockCtx blk(b, block_dim, grid_dim, warp_size, merged);
+      std::unique_ptr<BlockCheck> bc;
+      if (lc) bc = std::make_unique<BlockCheck>(*lc, b, block_dim);
+      BlockCtx blk(b, block_dim, grid_dim, warp_size, merged, nullptr,
+                   bc.get());
       kernel(blk);
     }
   } else {
@@ -143,8 +195,10 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
                b += n_workers) {
             if (!seq.failed()) {
               try {
+                std::unique_ptr<BlockCheck> bc;
+                if (lc) bc = std::make_unique<BlockCheck>(*lc, b, block_dim);
                 BlockCtx blk(b, block_dim, grid_dim, warp_size,
-                             worker_stats[w], &seq);
+                             worker_stats[w], &seq, bc.get());
                 kernel(blk);
               } catch (...) {
                 seq.record_failure(b, std::current_exception());
@@ -159,10 +213,25 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
     for (const auto& ws : worker_stats) merged += ws;
   }
 
+  std::uint64_t violations = 0;
+  if (lc) {
+    // Deterministic merge + CheckReport recording; the count rides in the
+    // stats so the profiler sees per-kernel violation totals.
+    violations = lc->finish();
+    merged.check_violations += violations;
+  }
+
   LaunchResult res;
   res.stats = merged;
   res.modeled_seconds = CostModel(dev.spec()).kernel_seconds(merged);
   dev.charge_kernel(merged, res.modeled_seconds);
+  if (violations > 0 && sim_check_mode() == CheckMode::kFail) {
+    // Stats (and the profiler) already carry the findings; hard-fail mode
+    // additionally surfaces the first offender at the launch site.
+    throw SimCheckError(lc->violations().empty() ? Violation{}
+                                                 : lc->violations().front(),
+                        violations);
+  }
   return res;
 }
 

@@ -81,6 +81,7 @@ void expect_stats_equal(const sim::KernelStats& a, const sim::KernelStats& b,
   EXPECT_EQ(a.barriers, b.barriers) << where;
   EXPECT_EQ(a.sort_pairs_bytes, b.sort_pairs_bytes) << where;
   EXPECT_EQ(a.scan_bytes, b.scan_bytes) << where;
+  EXPECT_EQ(a.check_violations, b.check_violations) << where;
 }
 
 // Bitwise comparison: EXPECT_EQ on floats would already be exact, but memcmp

@@ -16,6 +16,7 @@
 #include "data/io.h"
 #include "data/paper_datasets.h"
 #include "data/synthetic.h"
+#include "sim/checker.h"
 #include "sim/scheduler.h"
 
 namespace gbmo::cli {
@@ -135,6 +136,12 @@ core::TrainConfig parse_train_config(const Args& args) {
   // Host-parallelism knob for every system (the baselines don't read
   // TrainConfig::sim_threads): apply it process-wide right away.
   if (cfg.sim_threads > 0) sim::set_sim_threads(cfg.sim_threads);
+  // Race/memory checker: also process-wide, so baseline systems run under
+  // it too. Never downgrades a stronger GBMO_SIM_CHECK=fail default.
+  if (args.flag("sim-check")) {
+    cfg.sim_check = true;
+    if (!sim::sim_check_enabled()) sim::set_sim_check(sim::CheckMode::kReport);
+  }
   cfg.subsample = args.number("subsample", cfg.subsample);
   cfg.colsample_bytree = args.number("colsample", cfg.colsample_bytree);
   cfg.early_stopping_rounds =
@@ -178,6 +185,9 @@ void emit_profile(const ProfileOptions& opts, const obs::Profiler& profiler,
     out << "\nper-kernel profile (modeled):\n" << profiler.profile_table(&spec);
     out << "host block-scheduler threads: " << sim::sim_threads()
         << " (modeled results are thread-count-independent)\n";
+  }
+  if (sim::sim_check_enabled()) {
+    out << sim::CheckReport::instance().summary();
   }
   if (!opts.trace_out.empty()) {
     profiler.write_chrome_trace(opts.trace_out);
@@ -443,7 +453,7 @@ commands:
              [--hist auto|gmem|smem|sort-reduce --no-warp-opt --no-sparsity-aware]
              [--devices N --mgpu feature|data --device 4090|3090|cpu]
              [--subsample F --colsample F --valid FILE --early-stop N]
-             [--sim-threads N]
+             [--sim-threads N --sim-check]
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
   predict    --model FILE --data FILE --features N --out FILE
   importance --model FILE [--top K --by gain|count]
@@ -461,6 +471,13 @@ worker threads the simulator's block scheduler uses; the GBMO_SIM_THREADS
 environment variable sets the process default (else hardware concurrency,
 1 = inline). Purely a host-performance knob: modeled seconds, profiles and
 trained models are bit-identical for every value.
+
+--sim-check (any command taking train options) arms the substrate's race &
+memory checker: shared-memory data races, out-of-bounds/uninitialized reads
+and barrier divergence are detected through the kernel accessor views and
+summarized per kernel after the run. GBMO_SIM_CHECK=1|report|2|fail sets the
+process default (fail throws on the first violating launch). Detection is
+identical for every --sim-threads value.
 
 train and bench accept --profile (print a per-kernel table of modeled time,
 bytes moved, atomic conflict rates and launch geometry) and --trace-out=FILE
