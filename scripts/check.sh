@@ -21,6 +21,17 @@ GBMO_SIM_CHECK=1 ctest --test-dir "$build" --output-on-failure \
   -j "$(nproc)" -L fast
 echo "check: sim-check stage OK (fast suite with GBMO_SIM_CHECK=1)"
 
+# Inference engine smoke: reduced-scale bench run; exits non-zero unless the
+# compiled engine's predictions are bitwise identical to the reference
+# device path (NaN cells included).
+"$build/bench/bench_inference" --rows 4000 --train-rows 1200 --trees 20 --repeat 1
+echo "check: bench_inference smoke OK (engines bitwise identical)"
+
+# Missing-value fuzz stage: the differential harness with a heavier NaN cell
+# fraction, exercising quantize->train->predict routing across the registry.
+GBMO_FUZZ_NAN_FRAC=0.15 GBMO_FUZZ_ITERS=10 "$build/tests/gbmo_fuzz"
+echo "check: NaN fuzz stage OK (GBMO_FUZZ_NAN_FRAC=0.15)"
+
 # Optional ThreadSanitizer stage for the parallel block scheduler and thread
 # pool (GBMO_CHECK_TSAN=0 skips; also skipped when the toolchain can't link
 # -fsanitize=thread, e.g. missing libtsan).

@@ -1,8 +1,10 @@
 #include "core/model_io.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <string>
 
 #include "common/error.h"
 
@@ -10,6 +12,18 @@ namespace gbmo::core {
 
 namespace {
 constexpr const char* kMagic = "gbmo-model-v1";
+
+// operator<< renders non-finite floats as "nan"/"inf"/"-inf", which
+// operator>> refuses to parse back; thresholds of splits past the last cut
+// are legitimately +inf, so floats go through strtof instead.
+float read_float(std::istream& is) {
+  std::string tok;
+  GBMO_CHECK(static_cast<bool>(is >> tok)) << "truncated model file";
+  char* end = nullptr;
+  const float v = std::strtof(tok.c_str(), &end);
+  GBMO_CHECK(end != tok.c_str() && *end == '\0') << "bad float: " << tok;
+  return v;
+}
 
 const char* task_tag(data::TaskKind t) { return data::task_name(t); }
 
@@ -42,9 +56,13 @@ void write_model(std::ostream& os, const Model& model) {
     const auto nodes = tree.raw_nodes();
     os << "tree " << nodes.size() << ' ' << tree.all_leaf_values().size() << '\n';
     for (const auto& n : nodes) {
+      // Trailing field: missing-value routing (1 = NaN goes left). Appended
+      // after the v1 fields so readers of either vintage stay compatible —
+      // old files simply lack it and load as default-left.
       os << "node " << n.feature << ' ' << n.split_bin << ' ' << n.threshold
          << ' ' << n.left << ' ' << n.right << ' ' << n.leaf_offset << ' '
-         << n.gain << ' ' << n.n_instances << '\n';
+         << n.gain << ' ' << n.n_instances << ' ' << (n.default_left ? 1 : 0)
+         << '\n';
     }
     os << "leaves";
     for (float v : tree.all_leaf_values()) os << ' ' << v;
@@ -79,7 +97,7 @@ Model read_model(std::istream& is) {
     std::size_t k = 0;
     GBMO_CHECK(static_cast<bool>(is >> tag >> k) && tag == "cuts");
     feature_cuts[f].resize(k);
-    for (auto& v : feature_cuts[f]) GBMO_CHECK(static_cast<bool>(is >> v));
+    for (auto& v : feature_cuts[f]) v = read_float(is);
   }
   model.cuts = data::BinCuts::from_cut_arrays(feature_cuts, max_bins);
 
@@ -92,14 +110,30 @@ Model read_model(std::istream& is) {
                tag == "tree");
     std::vector<TreeNode> nodes(n_nodes);
     for (auto& n : nodes) {
-      GBMO_CHECK(static_cast<bool>(is >> tag >> n.feature >> n.split_bin >>
-                                   n.threshold >> n.left >> n.right >>
-                                   n.leaf_offset >> n.gain >> n.n_instances) &&
+      GBMO_CHECK(static_cast<bool>(is >> tag >> n.feature >> n.split_bin) &&
                  tag == "node");
+      n.threshold = read_float(is);
+      GBMO_CHECK(static_cast<bool>(is >> n.left >> n.right >> n.leaf_offset));
+      n.gain = read_float(is);
+      GBMO_CHECK(static_cast<bool>(is >> n.n_instances));
+      // Tolerant format bump: a trailing default-left flag may follow on the
+      // same line; files written before the flag existed read as left (the
+      // behaviour their training partition had).
+      n.default_left = true;
+      int c = is.peek();
+      while (c == ' ' || c == '\t') {
+        is.get();
+        c = is.peek();
+      }
+      if (c >= '0' && c <= '9') {
+        int flag = 1;
+        GBMO_CHECK(static_cast<bool>(is >> flag));
+        n.default_left = flag != 0;
+      }
     }
     std::vector<float> leaf_values(n_leaf_values);
     GBMO_CHECK(static_cast<bool>(is >> tag) && tag == "leaves");
-    for (auto& v : leaf_values) GBMO_CHECK(static_cast<bool>(is >> v));
+    for (auto& v : leaf_values) v = read_float(is);
     Tree tree(model.n_outputs);
     tree.set_raw(std::move(nodes), std::move(leaf_values), model.n_outputs);
     model.trees.push_back(std::move(tree));

@@ -1,6 +1,7 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/error.h"
@@ -48,24 +49,33 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
 namespace {
 
 // Traverses one tree for one instance, charging one random access per level;
-// returns the reached leaf's d-wide value vector (the caller accumulates it,
-// through a checked view where the target is cross-block state).
-inline std::span<const float> traverse(const Tree& tree,
-                                       std::span<const float> row,
-                                       sim::KernelStats& s) {
+// returns the reached leaf id and its d-wide value vector (the caller
+// accumulates the values, through a checked view where the target is
+// cross-block state). NaN feature values follow the node's default_left
+// flag, matching the bin-0 routing of the quantized training partition.
+struct TraverseResult {
+  std::int32_t leaf = -1;
+  std::span<const float> values;
+};
+
+inline TraverseResult traverse(const Tree& tree, std::span<const float> row,
+                               sim::KernelStats& s) {
   std::int32_t id = 0;
   int levels = 0;
   while (!tree.node(static_cast<std::size_t>(id)).is_leaf()) {
     const auto& nd = tree.node(static_cast<std::size_t>(id));
-    id = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
-                                                                   : nd.right;
+    const float v = row[static_cast<std::size_t>(nd.feature)];
+    const bool go_left = std::isnan(v) ? nd.default_left : v <= nd.threshold;
+    id = go_left ? nd.left : nd.right;
     ++levels;
   }
-  const auto values = tree.leaf_values(tree.node(static_cast<std::size_t>(id)));
+  TraverseResult out;
+  out.leaf = id;
+  out.values = tree.leaf_values(tree.node(static_cast<std::size_t>(id)));
   s.gmem_random_accesses += static_cast<std::uint64_t>(levels) * 2 + 1;
-  s.gmem_coalesced_bytes += values.size() * 2 * sizeof(float);
-  s.flops += values.size();
-  return values;
+  s.gmem_coalesced_bytes += out.values.size() * 2 * sizeof(float);
+  s.flops += out.values.size();
+  return out;
 }
 
 }  // namespace
@@ -73,7 +83,12 @@ inline std::span<const float> traverse(const Tree& tree,
 void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
                            const data::DenseMatrix& x, std::span<float> scores,
                            bool tree_parallel) {
-  GBMO_CHECK(!trees.empty());
+  // Zero-tree models (early stop at round 0, staged prefix 0) predict the
+  // additive identity, not an abort.
+  if (trees.empty()) {
+    std::fill(scores.begin(), scores.end(), 0.0f);
+    return;
+  }
   const int d = trees.front().n_outputs();
   const std::size_t n = x.n_rows();
   GBMO_CHECK(scores.size() == n * static_cast<std::size_t>(d));
@@ -106,7 +121,7 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
       blk.threads([&](int tid) {
         const std::size_t i = row_lo + static_cast<std::size_t>(tid);
         if (i >= n) return;
-        const auto values = traverse(trees[t], x.row(i), blk.stats());
+        const auto values = traverse(trees[t], x.row(i), blk.stats()).values;
         float* dst = local.data() + (i - row_lo) * static_cast<std::size_t>(d);
         for (std::size_t k = 0; k < values.size(); ++k) dst[k] += values[k];
         blk.stats().atomic_global_ops += static_cast<std::uint64_t>(d) / 4 + 1;
@@ -134,7 +149,7 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
         const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                               static_cast<std::size_t>(tid);
         if (i >= n) return;
-        const auto values = traverse(tree, x.row(i), blk.stats());
+        const auto values = traverse(tree, x.row(i), blk.stats()).values;
         const std::size_t off = i * static_cast<std::size_t>(d);
         for (std::size_t k = 0; k < values.size(); ++k) {
           scores_v.add(off + k, values[k]);
@@ -163,12 +178,14 @@ void CachedPredictor::append_tree(const Tree& tree) {
       const std::size_t i = static_cast<std::size_t>(blk.block_id()) * kBlock +
                             static_cast<std::size_t>(tid);
       if (i >= x_.n_rows()) return;
-      const auto values = traverse(tree, x_.row(i), blk.stats());
+      // One traversal serves both the score update and the leaf memo (the
+      // previous code re-ran tree.find_leaf, doubling work and charges).
+      const auto hit = traverse(tree, x_.row(i), blk.stats());
       const std::size_t off = i * static_cast<std::size_t>(n_outputs_);
-      for (std::size_t k = 0; k < values.size(); ++k) {
-        scores_v.add(off + k, values[k]);
+      for (std::size_t k = 0; k < hit.values.size(); ++k) {
+        scores_v.add(off + k, hit.values[k]);
       }
-      leaf_map[i] = tree.find_leaf(x_.row(i));
+      leaf_map[i] = hit.leaf;
     });
   });
   leaf_maps_.push_back(std::move(leaf_map));

@@ -1,6 +1,7 @@
 #include "core/tree.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gbmo::core {
 
@@ -54,7 +55,11 @@ std::int32_t Tree::find_leaf(std::span<const float> x_row) const {
   std::int32_t id = 0;
   while (!nodes_[static_cast<std::size_t>(id)].is_leaf()) {
     const auto& n = nodes_[static_cast<std::size_t>(id)];
-    id = x_row[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    const float v = x_row[static_cast<std::size_t>(n.feature)];
+    // NaN must follow the node's default direction; `v <= threshold` alone
+    // would send it right, diverging from the binned training partition.
+    const bool go_left = std::isnan(v) ? n.default_left : v <= n.threshold;
+    id = go_left ? n.left : n.right;
   }
   return id;
 }

@@ -4,6 +4,13 @@
 // the equivalent raw threshold "value <= threshold goes left" at inference;
 // leaves carry a d-dimensional value vector v_j (already scaled by the
 // learning rate when the grower finalizes them).
+//
+// Missing values: quantization sends NaN to bin 0 (BinCuts::bin_for is a
+// lower_bound, and every comparison against NaN is false), so a trained
+// split always routes missing values LEFT. Raw-value inference must not
+// rely on `NaN <= threshold` (false -> right); every traversal consults the
+// node's default_left flag instead, keeping train-time and predict-time
+// routing identical.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,10 @@ struct TreeNode {
   std::int32_t leaf_offset = -1; // index into leaf_values (in d-strides)
   float gain = 0.0f;
   std::uint32_t n_instances = 0;
+  // Missing-value routing: NaN goes to `left` when set (always true for
+  // trees grown on quantized bins — NaN lands in bin 0). Persisted by
+  // model_io; files without the flag read as left.
+  bool default_left = true;
 
   bool is_leaf() const { return feature < 0; }
 };

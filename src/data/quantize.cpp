@@ -18,6 +18,12 @@ BinCuts BinCuts::build(const DenseMatrix& x, int max_bins) {
   std::vector<float> sorted;
   for (std::size_t f = 0; f < x.n_cols(); ++f) {
     sorted = x.col(f);
+    // Missing values carry no split information and would poison the cut
+    // midpoints (and break sort's ordering); they quantize to bin 0 via
+    // bin_for's lower_bound regardless of the cuts chosen here.
+    sorted.erase(std::remove_if(sorted.begin(), sorted.end(),
+                                [](float v) { return std::isnan(v); }),
+                 sorted.end());
     std::sort(sorted.begin(), sorted.end());
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 

@@ -1,0 +1,120 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace gbmo::serve {
+
+PredictBatcher::PredictBatcher(InferenceEngine& engine, std::size_t n_features,
+                               BatcherConfig config, sim::StatsSink* sink)
+    : engine_(engine),
+      n_features_(n_features),
+      config_(config),
+      sink_(sink) {
+  GBMO_CHECK(config_.max_batch > 0);
+  if (sink_ != nullptr) engine_.set_sink(sink_);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+PredictBatcher::~PredictBatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  if (sink_ != nullptr) engine_.set_sink(nullptr);
+}
+
+std::future<std::vector<float>> PredictBatcher::submit(std::vector<float> row) {
+  GBMO_CHECK(row.size() == n_features_)
+      << "row has " << row.size() << " features, engine expects " << n_features_;
+  Pending p;
+  p.row = std::move(row);
+  p.enqueued = std::chrono::steady_clock::now();
+  auto future = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GBMO_CHECK(!stop_) << "submit after shutdown";
+    queue_.push_back(std::move(p));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void PredictBatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+LatencyStats PredictBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PredictBatcher::worker_loop() {
+  const auto max_delay =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(config_.max_delay_ms));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Wait for a full batch, but no longer than the oldest row's deadline.
+    const auto deadline = queue_.front().enqueued + max_delay;
+    cv_.wait_until(lock, deadline, [this] {
+      return stop_ || queue_.size() >= config_.max_batch;
+    });
+    const std::size_t take = std::min(queue_.size(), config_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    in_flight_ += batch.size();
+    lock.unlock();
+    run_batch(std::move(batch));
+    lock.lock();
+    drained_.notify_all();
+  }
+}
+
+void PredictBatcher::run_batch(std::vector<Pending> batch) {
+  data::DenseMatrix x(batch.size(), n_features_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::copy(batch[i].row.begin(), batch[i].row.end(), x.row(i).begin());
+  }
+
+  if (sink_ != nullptr) sink_->on_span_begin("predict_batch", engine_.modeled_seconds());
+  const auto scores = engine_.predict(x);
+  if (sink_ != nullptr) sink_->on_span_end(engine_.modeled_seconds());
+
+  const auto d = static_cast<std::size_t>(engine_.n_outputs());
+  const auto done = std::chrono::steady_clock::now();
+  double batch_total_ms = 0.0, batch_max_ms = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::vector<float>(
+        scores.begin() + static_cast<std::ptrdiff_t>(i * d),
+        scores.begin() + static_cast<std::ptrdiff_t>((i + 1) * d)));
+    const double ms =
+        std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
+            .count();
+    batch_total_ms += ms;
+    batch_max_ms = std::max(batch_max_ms, ms);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.requests += batch.size();
+  stats_.batches += 1;
+  stats_.total_latency_ms += batch_total_ms;
+  stats_.max_latency_ms = std::max(stats_.max_latency_ms, batch_max_ms);
+  in_flight_ -= batch.size();
+}
+
+}  // namespace gbmo::serve

@@ -1,0 +1,94 @@
+// PredictBatcher: thread-safe micro-batching front-end for an
+// InferenceEngine.
+//
+// Callers submit single rows from any thread and get a future for the row's
+// d-dimensional score vector. A background worker collects submissions into
+// micro-batches — flushing when `max_batch` rows are pending or the oldest
+// submission has waited `max_delay_ms` — and runs one engine.predict() per
+// batch, so the device sees batched kernels instead of row-at-a-time
+// launches. Per-request wall-clock latency (submit -> future fulfilled) is
+// tracked in LatencyStats; when a sim::StatsSink (e.g. obs::Profiler) is
+// given, it is attached to the engine's device and every batch additionally
+// emits a "predict_batch" span on the modeled timeline.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "sim/sink.h"
+
+namespace gbmo::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 64;   // flush when this many rows are pending
+  double max_delay_ms = 1.0;    // ... or the oldest row waited this long
+};
+
+struct LatencyStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  double total_latency_ms = 0.0;  // summed submit->fulfil wall-clock
+  double max_latency_ms = 0.0;
+
+  double mean_latency_ms() const {
+    return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);
+  }
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) / static_cast<double>(batches);
+  }
+};
+
+class PredictBatcher {
+ public:
+  // The engine must outlive the batcher. `sink`, when non-null, is attached
+  // to the engine's device for the batcher's lifetime.
+  PredictBatcher(InferenceEngine& engine, std::size_t n_features,
+                 BatcherConfig config = {}, sim::StatsSink* sink = nullptr);
+  ~PredictBatcher();  // drains pending requests, then joins the worker
+
+  PredictBatcher(const PredictBatcher&) = delete;
+  PredictBatcher& operator=(const PredictBatcher&) = delete;
+
+  // Enqueues one feature row (size must equal n_features); the future
+  // resolves to the row's n_outputs raw scores.
+  std::future<std::vector<float>> submit(std::vector<float> row);
+
+  // Blocks until every request submitted so far has been answered.
+  void drain();
+
+  LatencyStats stats() const;
+
+ private:
+  struct Pending {
+    std::vector<float> row;
+    std::promise<std::vector<float>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::vector<Pending> batch);
+
+  InferenceEngine& engine_;
+  const std::size_t n_features_;
+  const BatcherConfig config_;
+  sim::StatsSink* sink_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes the worker
+  std::condition_variable drained_;   // wakes drain()
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;         // rows handed to run_batch, unanswered
+  bool stop_ = false;
+  LatencyStats stats_;
+  std::thread worker_;
+};
+
+}  // namespace gbmo::serve

@@ -1,0 +1,69 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "core/compiled_model.h"
+#include "core/predictor.h"
+
+namespace gbmo::serve {
+
+namespace {
+
+class ReferenceEngine final : public InferenceEngine {
+ public:
+  ReferenceEngine(const core::Model& model, sim::DeviceSpec spec)
+      : InferenceEngine(model.n_outputs, std::move(spec)), model_(model) {}
+
+  const char* name() const override { return "reference"; }
+
+  std::vector<float> predict(const data::DenseMatrix& x) override {
+    std::vector<float> scores(
+        x.n_rows() * static_cast<std::size_t>(n_outputs_), 0.0f);
+    core::predict_scores_device(dev_, model_.trees, x, scores,
+                                /*tree_parallel=*/false);
+    return scores;
+  }
+
+ private:
+  const core::Model& model_;
+};
+
+class CompiledEngine final : public InferenceEngine {
+ public:
+  CompiledEngine(const core::Model& model, sim::DeviceSpec spec)
+      : InferenceEngine(model.n_outputs, std::move(spec)),
+        compiled_(core::CompiledModel::compile(model.trees, model.n_outputs)) {}
+
+  const char* name() const override { return "compiled"; }
+
+  std::vector<float> predict(const data::DenseMatrix& x) override {
+    std::vector<float> scores(
+        x.n_rows() * static_cast<std::size_t>(n_outputs_), 0.0f);
+    core::predict_compiled(dev_, compiled_, x, scores);
+    return scores;
+  }
+
+ private:
+  core::CompiledModel compiled_;
+};
+
+}  // namespace
+
+std::vector<std::string> engine_names() { return {"compiled", "reference"}; }
+
+std::unique_ptr<InferenceEngine> make_engine(const std::string& name,
+                                             const core::Model& model,
+                                             sim::DeviceSpec spec) {
+  if (name == "compiled") {
+    return std::make_unique<CompiledEngine>(model, std::move(spec));
+  }
+  if (name == "reference") {
+    return std::make_unique<ReferenceEngine>(model, std::move(spec));
+  }
+  GBMO_CHECK(false) << "unknown inference engine: " << name
+                    << " (expected compiled|reference)";
+  return nullptr;
+}
+
+}  // namespace gbmo::serve

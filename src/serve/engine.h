@@ -1,0 +1,64 @@
+// Inference engines: the serving-side counterpart of the training-system
+// registry. An engine wraps a trained core::Model together with its own
+// sim::Device and answers batched score requests.
+//
+// Two engines exist:
+//   - "reference": the tree-at-a-time device path (core::predict_scores_device,
+//     one kernel launch per tree, pointer-chasing traversal). The baseline.
+//   - "compiled":  flattens the forest once into a core::CompiledModel and
+//     predicts through the batched predict_compiled kernels (tree-group ×
+//     row-chunk tiling, shared-memory staged tree slabs). Bit-identical
+//     scores, a fraction of the modeled time.
+//
+// Both route missing values by the per-node default-left rule, and both
+// answer all-zero scores for a zero-tree model.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/booster.h"
+#include "data/matrix.h"
+#include "sim/device.h"
+#include "sim/sink.h"
+
+namespace gbmo::serve {
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  virtual const char* name() const = 0;
+  // Raw additive scores for a batch, row-major [i * d + k]. Modeled time is
+  // charged to device() under the "inference" phase.
+  virtual std::vector<float> predict(const data::DenseMatrix& x) = 0;
+
+  int n_outputs() const { return n_outputs_; }
+  sim::Device& device() { return dev_; }
+  double modeled_seconds() const { return dev_.modeled_seconds(); }
+  // Optional observability sink (e.g. obs::Profiler), attached to the
+  // engine's device: every predict kernel charge is forwarded.
+  void set_sink(sim::StatsSink* sink) { dev_.set_sink(sink); }
+
+ protected:
+  InferenceEngine(int n_outputs, sim::DeviceSpec spec)
+      : n_outputs_(n_outputs), dev_(std::move(spec)) {
+    dev_.set_phase("inference");
+  }
+
+  int n_outputs_;
+  sim::Device dev_;
+};
+
+// Engine names accepted by make_engine, in preference order:
+// {"compiled", "reference"}.
+std::vector<std::string> engine_names();
+
+// Builds the named engine over `model`. The model is held by reference and
+// must outlive the engine. Throws gbmo::Error for unknown names.
+std::unique_ptr<InferenceEngine> make_engine(
+    const std::string& name, const core::Model& model,
+    sim::DeviceSpec spec = sim::DeviceSpec::rtx4090());
+
+}  // namespace gbmo::serve

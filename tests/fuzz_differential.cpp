@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <random>
 #include <sstream>
 #include <string>
@@ -50,13 +51,28 @@ int g_failures = 0;
     }                                                            \
   } while (0)
 
+// Fraction of feature cells replaced with NaN before training/prediction
+// (missing values go through quantization as bin 0 and through raw
+// traversal via default-left — the same rows either way). Override with
+// GBMO_FUZZ_NAN_FRAC; 0 disables injection.
+double nan_frac() {
+  static const double frac = [] {
+    if (const char* env = std::getenv("GBMO_FUZZ_NAN_FRAC")) {
+      return std::atof(env);
+    }
+    return 0.05;
+  }();
+  return frac;
+}
+
 struct DrawnCase {
   gbmo::data::MulticlassSpec data;
   gbmo::core::TrainConfig cfg;
   std::string describe() const {
     std::ostringstream os;
     os << "n=" << data.n_instances << " m=" << data.n_features
-       << " d=" << data.n_classes << " trees=" << cfg.n_trees
+       << " d=" << data.n_classes << " nan=" << nan_frac()
+       << " trees=" << cfg.n_trees
        << " depth=" << cfg.max_depth << " bins=" << cfg.max_bins
        << " hist=" << gbmo::core::hist_method_name(cfg.hist_method)
        << " csc_sweep=" << cfg.csc_level_sweep << " warp=" << cfg.warp_opt
@@ -138,7 +154,15 @@ RunOutput run_system(const std::string& name, const DrawnCase& c,
 void fuzz_iteration(int it) {
   const std::uint64_t seed = 0xF00Du + static_cast<std::uint64_t>(it);
   const DrawnCase c = draw_case(seed);
-  const auto d = gbmo::data::make_multiclass(c.data);
+  auto d = gbmo::data::make_multiclass(c.data);
+  if (nan_frac() > 0.0) {
+    std::mt19937_64 rng(seed ^ 0x9E3779B97F4A7C15ull);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    auto vals = d.x.values();
+    for (auto& v : vals) {
+      if (unit(rng) < nan_frac()) v = std::numeric_limits<float>::quiet_NaN();
+    }
+  }
   const std::string where = "iter " + std::to_string(it);
   std::cerr << where << ": " << c.describe() << "\n";
 
@@ -195,7 +219,14 @@ void fuzz_iteration(int it) {
         std::cerr << where << " " << info.name
                   << ": near-tie divergence from reference (within-eps frac="
                   << frac << ", |d " << m_sys.metric << "|=" << dm << ")\n";
-        FUZZ_EXPECT(dm <= 2.0,
+        // A tie flip swaps equivalent splits and relocates a handful of
+        // rows; on tiny replicas that is percent-scale movement (NaN
+        // injection makes bin 0 heavy, so the zero-bin reconstruction's
+        // different accumulation order flips ties more often), so the bound
+        // is 4 rows or 2 metric points, whichever is looser.
+        const double tie_budget =
+            std::max(2.0, 400.0 / static_cast<double>(d.x.n_rows()));
+        FUZZ_EXPECT(dm <= tie_budget,
                     tag + ": diverges structurally from scalar reference "
                           "(frac=" +
                         std::to_string(frac) + ", metric delta " +

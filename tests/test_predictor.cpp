@@ -3,6 +3,9 @@
 // convenience predictor.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "core/booster.h"
 #include "core/predictor.h"
 #include "data/synthetic.h"
@@ -87,6 +90,43 @@ TEST(PredictorTest, BinnedAndRawTraversalAgree) {
       });
       EXPECT_EQ(raw_leaf, bin_leaf) << "row " << i;
     }
+  }
+}
+
+TEST(PredictorTest, NaNRoutesLikeTheBinnedTrainingPartition) {
+  // Regression test for the train/predict routing divergence: quantization
+  // sends NaN to bin 0 (left of every split), so raw-value traversal must
+  // send NaN left too — `NaN <= threshold` alone would route it right.
+  auto d = make_data(3, 55);
+  auto vals = d.x.values();
+  for (std::size_t i = 0; i < vals.size(); i += 9) {
+    vals[i] = std::numeric_limits<float>::quiet_NaN();
+  }
+  GbmoBooster booster(small_cfg());
+  const auto model = booster.fit(d);
+
+  const data::BinnedMatrix binned(d.x, model.cuts);
+  for (const auto& tree : model.trees) {
+    for (std::size_t i = 0; i < d.n_instances(); ++i) {
+      const auto raw_leaf = tree.find_leaf(d.x.row(i));
+      const auto bin_leaf = tree.find_leaf_binned([&](std::int32_t f) {
+        return binned.bin(i, static_cast<std::size_t>(f));
+      });
+      ASSERT_EQ(raw_leaf, bin_leaf) << "row " << i;
+    }
+  }
+
+  // Both device paths accumulate in ascending tree order per score word, so
+  // on NaN rows they stay bit-identical to the host reference.
+  const auto host = predict_scores(model.trees, d.x, 3);
+  sim::Device dev(sim::DeviceSpec::rtx4090());
+  for (bool tree_parallel : {false, true}) {
+    std::vector<float> scores(host.size());
+    predict_scores_device(dev, model.trees, d.x, scores, tree_parallel);
+    EXPECT_EQ(std::memcmp(scores.data(), host.data(),
+                          host.size() * sizeof(float)),
+              0)
+        << "tree_parallel=" << tree_parallel;
   }
 }
 

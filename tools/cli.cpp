@@ -16,6 +16,7 @@
 #include "data/io.h"
 #include "data/paper_datasets.h"
 #include "data/synthetic.h"
+#include "serve/engine.h"
 #include "sim/checker.h"
 #include "sim/scheduler.h"
 
@@ -318,9 +319,11 @@ int cmd_predict(const Args& args, std::ostream& out) {
   const auto model = core::load_model(args.require("model"));
   const auto dataset = load_dataset(args, "data");
   const auto out_path = args.require("out");
+  const auto engine_name = args.str("engine", "compiled");
   args.reject_unknown();
 
-  const auto scores = model.predict(dataset.x);
+  const auto engine = serve::make_engine(engine_name, model);
+  const auto scores = engine->predict(dataset.x);
   std::ofstream os(out_path);
   if (!os.good()) throw Error("cannot open " + out_path);
   const auto d = static_cast<std::size_t>(model.n_outputs);
@@ -331,6 +334,8 @@ int cmd_predict(const Args& args, std::ostream& out) {
   }
   out << "wrote " << dataset.n_instances() << " score rows (" << d
       << " outputs each) to " << out_path << "\n";
+  out << "engine " << engine->name() << ": modeled "
+      << engine->modeled_seconds() << " s\n";
   return 0;
 }
 
@@ -456,6 +461,7 @@ commands:
              [--sim-threads N --sim-check]
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
   predict    --model FILE --data FILE --features N --out FILE
+             [--engine compiled|reference]
   importance --model FILE [--top K --by gain|count]
   info       --model FILE
   bench      --dataset NAME [--system NAME] [--device 4090|3090|cpu + train options]
