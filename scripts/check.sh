@@ -21,6 +21,24 @@ GBMO_SIM_CHECK=1 ctest --test-dir "$build" --output-on-failure \
   -j "$(nproc)" -L fast
 echo "check: sim-check stage OK (fast suite with GBMO_SIM_CHECK=1)"
 
+# Chaos stage: the fault-injection suite (deterministic transient faults,
+# device-loss failover, checkpoint/resume, serve fallback) — every trained
+# model must be bitwise-identical to its clean run. See src/sim/faults.h and
+# DESIGN.md §9.
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" -L chaos
+echo "check: chaos stage OK (fault-injection suite)"
+
+# Chaos fuzz stage: the differential harness with the fault injector armed —
+# transient faults fire inside every registry system's kernels and the
+# 1-vs-4-thread bitwise and reference-agreement invariants must still hold.
+GBMO_FUZZ_FAULT_RATE=0.02 GBMO_FUZZ_ITERS=8 "$build/tests/gbmo_fuzz"
+echo "check: chaos fuzz stage OK (GBMO_FUZZ_FAULT_RATE=0.02)"
+
+# Retry-overhead bench at reduced scale: exits non-zero unless every faulted
+# run reproduces the clean model bitwise.
+"$build/bench/bench_faults" --rows 1200 --trees 10 --depth 5 --rates "0,0.05"
+echo "check: bench_faults smoke OK (faulted models bitwise identical)"
+
 # Inference engine smoke: reduced-scale bench run; exits non-zero unless the
 # compiled engine's predictions are bitwise identical to the reference
 # device path (NaN cells included).
@@ -67,8 +85,8 @@ if [[ "${GBMO_CHECK_ASAN:-1}" != "0" ]]; then
     cmake -B "$asan_build" -S "$repo" -DGBMO_SANITIZE=address
     cmake --build "$asan_build" -j "$(nproc)" --target gbmo_tests
     GBMO_SIM_CHECK=1 ctest --test-dir "$asan_build" --output-on-failure \
-      -R 'SimChecker|QuantizeProperties|BinPackProperties|ModelGolden'
-    echo "check: ASan stage OK (checker + data property tests under -fsanitize=address)"
+      -R 'SimChecker|QuantizeProperties|BinPackProperties|ModelGolden|Faults|Checkpoint'
+    echo "check: ASan stage OK (checker + data property + fault-injection tests under -fsanitize=address)"
   else
     echo "check: ASan stage skipped (toolchain cannot link -fsanitize=address)"
   fi

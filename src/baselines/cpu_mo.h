@@ -24,6 +24,7 @@ class CpuMoSystem final : public AnySystem {
   void fit(const data::Dataset& train) override;
   std::vector<float> predict(const data::DenseMatrix& x) const override;
   const core::TrainReport& report() const override { return report_; }
+  bool supports_checkpoint() const override { return true; }
 
   const core::Model& model() const { return model_; }
 

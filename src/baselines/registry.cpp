@@ -28,6 +28,7 @@ class OursSystem final : public TrainSystem {
     return model_.predict(x);
   }
   const core::TrainReport& report() const override { return booster_.report(); }
+  bool supports_checkpoint() const override { return true; }
 
  private:
   core::GbmoBooster booster_;

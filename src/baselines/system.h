@@ -47,6 +47,13 @@ class TrainSystem {
 
   virtual const core::TrainReport& report() const = 0;
 
+  // Whether this system honors TrainConfig's checkpoint_every /
+  // checkpoint_path / resume fields — true for systems whose config flows
+  // into a single core::GbmoBooster fit. Ensemble-of-ensembles baselines
+  // (xgboost/lightgbm emulations etc.) train d inner boosters and would
+  // need per-member checkpoint state, so they report false.
+  virtual bool supports_checkpoint() const { return false; }
+
   // Observability: the sink (e.g. obs::Profiler) is attached to every device
   // group the system creates during fit(), receiving per-kernel events and
   // pipeline spans. Attach before calling fit().

@@ -5,6 +5,7 @@
 // across runs and platforms.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -69,6 +70,17 @@ class Rng {
   float normal_f() { return static_cast<float>(normal()); }
 
   bool bernoulli(double p) { return next_double() < p; }
+
+  // Checkpoint support: the raw xoshiro state, save/restore round-trips the
+  // generator exactly. restore() drops the Box–Muller cache — callers that
+  // mix normal() draws across a checkpoint boundary would need it persisted,
+  // but the library checkpoints only between whole-draw sequences.
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void restore(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[static_cast<std::size_t>(i)] = s[static_cast<std::size_t>(i)];
+    has_cached_ = false;
+    cached_ = 0.0;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

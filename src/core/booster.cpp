@@ -1,15 +1,40 @@
 #include "core/booster.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/error.h"
 #include "common/rng.h"
 #include "core/gradients.h"
+#include "core/model_io.h"
 #include "sim/cost_model.h"
+#include "sim/faults.h"
 #include "sim/launch.h"
 
 namespace gbmo::core {
+
+namespace {
+
+// Scopes a config-level fault plan (TrainConfig::faults) to one fit() call:
+// arms it on entry, clears the override on exit so a later fit in the same
+// process falls back to whatever --sim-faults / GBMO_SIM_FAULTS set up.
+class FaultArmGuard {
+ public:
+  explicit FaultArmGuard(const std::string& spec) : armed_(!spec.empty()) {
+    if (armed_) sim::set_sim_faults(spec);
+  }
+  FaultArmGuard(const FaultArmGuard&) = delete;
+  FaultArmGuard& operator=(const FaultArmGuard&) = delete;
+  ~FaultArmGuard() {
+    if (armed_) sim::reset_sim_faults();
+  }
+
+ private:
+  bool armed_;
+};
+
+}  // namespace
 
 std::vector<float> Model::predict_staged(const data::DenseMatrix& x,
                                          std::size_t n_trees) const {
@@ -89,6 +114,8 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   if (config_.sim_check && !sim::sim_check_enabled()) {
     sim::set_sim_check(sim::CheckMode::kReport);
   }
+  // Config-level fault plan, scoped to this fit (sim/faults.h).
+  FaultArmGuard fault_guard(config_.faults);
 
   sim::DeviceGroup group(spec_, std::max(1, config_.n_devices), link_);
   group.set_sink(sink_);
@@ -178,81 +205,157 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
   int rounds_since_best = 0;
   std::size_t best_tree_count = 0;
 
-  for (int t = 0; t < config_.n_trees; ++t) {
+  // Resume from a checkpoint (config.resume): restore the partial model, the
+  // running scores, the sampler RNG and the early-stopping state, then
+  // continue at the recorded tree — the final model is bitwise-identical to
+  // an uninterrupted run. A missing checkpoint file is a fresh start.
+  int start_tree = 0;
+  if (config_.resume && !config_.checkpoint_path.empty()) {
+    if (auto ckpt = load_checkpoint(config_.checkpoint_path)) {
+      GBMO_CHECK(ckpt->model.n_outputs == d &&
+                 ckpt->scores.size() == scores.size())
+          << "checkpoint does not match this dataset";
+      GBMO_CHECK(ckpt->trees_completed <= config_.n_trees)
+          << "checkpoint has more trees than this config trains";
+      GBMO_CHECK(ckpt->valid_scores.size() == valid_scores.size())
+          << "checkpoint validation state does not match";
+      model.trees = std::move(ckpt->model.trees);
+      std::copy(ckpt->scores.begin(), ckpt->scores.end(), scores.begin());
+      sampler.restore(ckpt->rng_state);
+      valid_scores = std::move(ckpt->valid_scores);
+      report_.valid_metric_per_tree = std::move(ckpt->valid_metric_per_tree);
+      best_valid = ckpt->best_valid;
+      rounds_since_best = ckpt->rounds_since_best;
+      best_tree_count = static_cast<std::size_t>(ckpt->best_tree_count);
+      start_tree = ckpt->trees_completed;
+    }
+  }
+
+  // Device-loss failover applies in feature-parallel mode: survivors can
+  // rebuild any column's histogram from their full row copy, so the tree the
+  // loss interrupted is simply redone on the re-partitioned survivors.
+  // Data-parallel rows are gone with the device — the loss is fatal there.
+  const bool failover_ok = config_.multi_gpu == MultiGpuMode::kFeatureParallel;
+
+  for (int t = start_tree; t < config_.n_trees; ++t) {
     sim::TraceSpan tree_span(group, "tree " + std::to_string(t));
     group.set_trace_tree(t);
-    // Stage 1: gradients from the current predictions (replicated per device
-    // — every device needs g/h for its feature columns' histogram work).
-    group.set_phase("gradient");
-    {
-      sim::TraceSpan grad_span(group, "gradients");
-      for (int i = 0; i < group.size(); ++i) {
-        compute_gradients(group.device(i), *loss, scores, train.y, g, h);
-      }
+
+    // Snapshot the per-tree mutable state while a fault plan is armed: a
+    // device loss can interrupt the tree after the sampler drew or after the
+    // scores were updated, and the redo on the survivors must start from the
+    // exact state the fault-free tree started from.
+    std::array<std::uint64_t, 4> rng_snapshot{};
+    std::vector<float> scores_snapshot;
+    if (sim::sim_faults_enabled()) {
+      rng_snapshot = sampler.state();
+      scores_snapshot = scores;
     }
 
-    // Row / feature sampling for this tree (stochastic boosting).
-    sampled_rows.clear();
-    if (config_.subsample < 1.0) {
-      for (std::uint32_t r = 0; r < n; ++r) {
-        if (sampler.bernoulli(config_.subsample)) sampled_rows.push_back(r);
-      }
-      if (sampled_rows.empty()) sampled_rows.push_back(sampler.next_u32() % n);
-    }
-    sampled_features.clear();
-    if (config_.colsample_bytree < 1.0) {
-      for (std::uint32_t f = 0; f < train.n_features(); ++f) {
-        if (sampler.bernoulli(config_.colsample_bytree)) sampled_features.push_back(f);
-      }
-      if (sampled_features.empty()) {
-        sampled_features.push_back(
-            static_cast<std::uint32_t>(sampler.next_u32() % train.n_features()));
-      }
-    }
+    for (;;) {
+      try {
+        // Stage 1: gradients from the current predictions (replicated per
+        // device — every device needs g/h for its feature columns'
+        // histogram work). Lost devices are skipped.
+        group.set_phase("gradient");
+        {
+          sim::TraceSpan grad_span(group, "gradients");
+          for (int i = 0; i < group.size(); ++i) {
+            if (group.is_lost(i)) continue;
+            compute_gradients(group.device(i), *loss, scores, train.y, g, h);
+          }
+        }
 
-    // Stages 2+3: histogram construction, split selection, partitioning
-    // (the grower switches phases internally).
-    GrownTree grown = grower.grow(g, h, sampled_rows, sampled_features);
+        // Row / feature sampling for this tree (stochastic boosting).
+        sampled_rows.clear();
+        if (config_.subsample < 1.0) {
+          for (std::uint32_t r = 0; r < n; ++r) {
+            if (sampler.bernoulli(config_.subsample)) sampled_rows.push_back(r);
+          }
+          if (sampled_rows.empty()) sampled_rows.push_back(sampler.next_u32() % n);
+        }
+        sampled_features.clear();
+        if (config_.colsample_bytree < 1.0) {
+          for (std::uint32_t f = 0; f < train.n_features(); ++f) {
+            if (sampler.bernoulli(config_.colsample_bytree)) sampled_features.push_back(f);
+          }
+          if (sampled_features.empty()) {
+            sampled_features.push_back(
+                static_cast<std::uint32_t>(sampler.next_u32() % train.n_features()));
+          }
+        }
 
-    // Rows outside the sample were never partitioned: route them through the
-    // fresh tree by binned traversal so the incremental update covers all n.
-    if (!sampled_rows.empty()) {
-      std::uint64_t routed = 0;
-      for (std::size_t r = 0; r < n; ++r) {
-        if (grown.leaf_of_row[r] >= 0) continue;
-        grown.leaf_of_row[r] = grown.tree.find_leaf_binned([&](std::int32_t f) {
-          return binned.bin(r, static_cast<std::size_t>(f));
-        });
-        ++routed;
+        // Stages 2+3: histogram construction, split selection, partitioning
+        // (the grower switches phases internally).
+        GrownTree grown = grower.grow(g, h, sampled_rows, sampled_features);
+
+        // Rows outside the sample were never partitioned: route them through
+        // the fresh tree by binned traversal so the incremental update
+        // covers all n.
+        if (!sampled_rows.empty()) {
+          std::uint64_t routed = 0;
+          for (std::size_t r = 0; r < n; ++r) {
+            if (grown.leaf_of_row[r] >= 0) continue;
+            grown.leaf_of_row[r] = grown.tree.find_leaf_binned([&](std::int32_t f) {
+              return binned.bin(r, static_cast<std::size_t>(f));
+            });
+            ++routed;
+          }
+          sim::KernelStats s;
+          s.blocks = std::max<std::uint64_t>(1, routed / 256);
+          s.gmem_random_accesses =
+              routed * static_cast<std::uint64_t>(config_.max_depth) * 2;
+          const int charge_dev = std::max(0, group.first_alive());
+          sim::charge_kernel(group.device(charge_dev), "route_unsampled", s);
+        }
+
+        // Prediction update via training-time leaf assignment (§3.1.1).
+        group.set_phase("update");
+        {
+          sim::TraceSpan update_span(group, "update");
+          // The kernel is replicated per device (feature-parallel keeps a
+          // full score copy everywhere); the host-side array is updated once,
+          // on the first surviving device.
+          bool applied = false;
+          for (int i = 0; i < group.size(); ++i) {
+            if (group.is_lost(i)) continue;
+            update_scores_from_leaves(group.device(i), grown.tree,
+                                      grown.leaf_of_row, scores,
+                                      /*apply=*/!applied);
+            applied = true;
+            if (config_.multi_gpu == MultiGpuMode::kDataParallel) break;
+          }
+        }
+
+        model.trees.push_back(std::move(grown.tree));
+        break;  // tree complete
+      } catch (const sim::SimDeviceLost& e) {
+        // Permanent device loss mid-tree. Feature-parallel failover: mark
+        // the casualty, re-partition the columns over the survivors, rewind
+        // this tree's state (sampler draws, possibly-applied score update)
+        // and redo the same tree. Anything else is fatal.
+        if (!failover_ok || e.device() < 0 || e.device() >= group.size() ||
+            scores_snapshot.empty()) {
+          throw;
+        }
+        group.mark_lost(e.device());
+        GBMO_CHECK(group.n_alive() >= 1)
+            << "device " << e.device() << " lost with no survivors";
+        grower.redistribute_over_alive();
+        sampler.restore(rng_snapshot);
+        std::copy(scores_snapshot.begin(), scores_snapshot.end(),
+                  scores.begin());
       }
-      sim::KernelStats s;
-      s.blocks = std::max<std::uint64_t>(1, routed / 256);
-      s.gmem_random_accesses =
-          routed * static_cast<std::uint64_t>(config_.max_depth) * 2;
-      sim::charge_kernel(group.device(0), "route_unsampled", s);
     }
-
-    // Prediction update via training-time leaf assignment (§3.1.1).
-    group.set_phase("update");
-    {
-      sim::TraceSpan update_span(group, "update");
-      for (int i = 0; i < group.size(); ++i) {
-        // The kernel is replicated per device (feature-parallel keeps a full
-        // score copy everywhere); the host-side array is updated once.
-        update_scores_from_leaves(group.device(i), grown.tree, grown.leaf_of_row,
-                                  scores, /*apply=*/i == 0);
-        if (config_.multi_gpu == MultiGpuMode::kDataParallel) break;
-      }
-    }
-
-    model.trees.push_back(std::move(grown.tree));
     const double total = group.max_modeled_seconds();
     report_.per_tree_seconds.push_back(total - prev_total);
     prev_total = total;
 
-    // Validation monitoring + early stopping.
+    // Validation monitoring + early stopping. The eval device carries id -1
+    // so scripted fault plans (which target device ids >= 0) never hit it —
+    // its transient retries stay functionally invisible either way.
     if (valid != nullptr) {
-      sim::Device eval_dev(spec_);  // inference cost not part of training time
+      sim::Device eval_dev(spec_, -1);  // inference cost not part of training time
       std::vector<float> tree_scores(valid_scores.size(), 0.0f);
       predict_scores_device(eval_dev, {&model.trees.back(), 1}, valid->x,
                             tree_scores);
@@ -274,6 +377,23 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
         model.trees.resize(best_tree_count);
         break;
       }
+    }
+
+    // Periodic checkpoint (atomic tmp+rename): captures everything a resumed
+    // fit needs to finish with a bitwise-identical model.
+    if (config_.checkpoint_every > 0 && !config_.checkpoint_path.empty() &&
+        static_cast<int>(model.trees.size()) % config_.checkpoint_every == 0) {
+      Checkpoint ckpt;
+      ckpt.trees_completed = static_cast<int>(model.trees.size());
+      ckpt.rng_state = sampler.state();
+      ckpt.scores = scores;
+      ckpt.valid_scores = valid_scores;
+      ckpt.valid_metric_per_tree = report_.valid_metric_per_tree;
+      ckpt.best_valid = best_valid;
+      ckpt.rounds_since_best = rounds_since_best;
+      ckpt.best_tree_count = static_cast<int>(best_tree_count);
+      ckpt.model = model;
+      save_checkpoint(config_.checkpoint_path, ckpt);
     }
   }
 

@@ -159,6 +159,9 @@ void predict_compiled(sim::Device& dev, const CompiledModel& m,
     // block, so the writes are block-partitioned — no commit needed, and
     // the checker verifies exactly that.
     const int route_grid = static_cast<int>(groups.size()) * chunks;
+    // Retryable under fault injection: every scratch word is fully rewritten
+    // by its owning block, so a retried launch is idempotent as-is.
+    sim::with_retry(dev, [&] {
     sim::launch(dev, "predict_compiled_route", route_grid, kBlock,
                 [&](sim::BlockCtx& blk) {
       const auto& grp = groups[static_cast<std::size_t>(blk.block_id()) /
@@ -243,6 +246,7 @@ void predict_compiled(sim::Device& dev, const CompiledModel& m,
             static_cast<std::uint64_t>(g_trees) * sizeof(std::int32_t);
       });
     });
+    });
 
     // --- Phase 2: reduction. One block per row chunk accumulates each
     // row's score vector over all trees in ascending tree order (so every
@@ -250,6 +254,9 @@ void predict_compiled(sim::Device& dev, const CompiledModel& m,
     // reference), stages the chunk's partial score vectors block-privately,
     // and flushes them under blk.commit() — block-id-ordered, hence
     // bit-identical for any --sim-threads value.
+    // Retryable: the commit stores (not adds) each score word, so a retried
+    // reduce overwrites any partial flush from the faulted attempt.
+    sim::with_retry(dev, [&] {
     sim::launch(dev, "predict_compiled_reduce", chunks, kBlock,
                 [&](sim::BlockCtx& blk) {
       const std::size_t row_lo =
@@ -294,6 +301,7 @@ void predict_compiled(sim::Device& dev, const CompiledModel& m,
       blk.stats().gmem_coalesced_bytes +=
           static_cast<std::uint64_t>(row_hi - row_lo) *
           static_cast<std::uint64_t>(d) * sizeof(float);
+    });
     });
   }
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace gbmo::core {
 
@@ -70,6 +71,20 @@ struct TrainConfig {
 
   std::uint64_t seed = 0;
 
+  // Fault-injection plan for this run (sim/faults.h spec grammar, e.g.
+  // "transient=0.01;seed=7" or "kill=1@120"). Empty = use whatever plan is
+  // armed process-wide (--sim-faults / GBMO_SIM_FAULTS), if any. A non-empty
+  // spec arms the plan for the duration of fit().
+  std::string faults;
+
+  // Checkpoint the booster every N completed trees (0 = off) to
+  // `checkpoint_path` (written atomically: tmp + rename). With `resume`,
+  // fit() first loads that file if present and continues from the recorded
+  // tree; the final model is bitwise-identical to an uninterrupted run.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  bool resume = false;
+
   // --- fluent builder ------------------------------------------------------
   // Chainable setters so configurations read declaratively:
   //
@@ -109,6 +124,19 @@ struct TrainConfig {
     return *this;
   }
   TrainConfig& rng_seed(std::uint64_t s) { seed = s; return *this; }
+  TrainConfig& fault_plan(std::string spec) {
+    faults = std::move(spec);
+    return *this;
+  }
+  TrainConfig& checkpoint(std::string path, int every_n_trees) {
+    checkpoint_path = std::move(path);
+    checkpoint_every = every_n_trees;
+    return *this;
+  }
+  TrainConfig& resume_from_checkpoint(bool on = true) {
+    resume = on;
+    return *this;
+  }
 };
 
 }  // namespace gbmo::core

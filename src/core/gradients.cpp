@@ -19,6 +19,9 @@ void compute_gradients(sim::Device& dev, const Loss& loss,
   const int grid = sim::blocks_for(n, kBlock);
   const std::uint64_t loss_flops = loss.flops_per_instance(d);
 
+  // Retryable under fault injection: every (row, output) is fully rewritten
+  // by its owning thread, so a retried launch is idempotent as-is.
+  sim::with_retry(dev, [&] {
   sim::launch(dev, "compute_gradients", grid, kBlock, [&](sim::BlockCtx& blk) {
     blk.threads([&](int tid) {
       const std::size_t i =
@@ -33,17 +36,22 @@ void compute_gradients(sim::Device& dev, const Loss& loss,
       blk.stats().flops += loss_flops;
     });
   });
+  });
 }
 
 void reduce_gradients(sim::Device& dev, std::span<const float> g,
                       std::span<const float> h, std::span<const std::uint32_t> rows,
                       int n_outputs, std::span<sim::GradPair> totals) {
   GBMO_CHECK(totals.size() == static_cast<std::size_t>(n_outputs));
-  for (auto& t : totals) t = sim::GradPair{};
 
   constexpr int kBlock = 256;
   const int grid = sim::blocks_for(std::max<std::size_t>(rows.size(), 1), kBlock);
 
+  // Restage-on-retry: a faulted attempt may have flushed some blocks'
+  // partials into `totals`, so each attempt re-zeroes the accumulator before
+  // launching — a retried launch is bit-identical to a clean first run.
+  sim::with_retry(dev, [&] {
+  for (auto& t : totals) t = sim::GradPair{};
   sim::launch(dev, "reduce_gradients", grid, kBlock, [&](sim::BlockCtx& blk) {
     // One block strides over its share of rows, accumulates a block-private
     // partial (the warp-level reduction on hardware), and flushes it into
@@ -75,6 +83,7 @@ void reduce_gradients(sim::Device& dev, std::span<const float> g,
     });
     // The per-block partial flush: d atomic adds per block.
     blk.stats().atomic_global_ops += static_cast<std::uint64_t>(n_outputs);
+  });
   });
 }
 

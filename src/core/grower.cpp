@@ -48,6 +48,32 @@ TreeGrower::TreeGrower(sim::DeviceGroup& group, const GrowerContext& ctx)
   GBMO_CHECK(group.size() == std::max(1, ctx.config.n_devices));
   all_features_.resize(ctx.bins->n_cols());
   std::iota(all_features_.begin(), all_features_.end(), 0u);
+  device_features_ = ctx.device_features;
+}
+
+sim::Device& TreeGrower::charge_device() {
+  const int fa = group_.first_alive();
+  return group_.device(fa < 0 ? 0 : fa);
+}
+
+void TreeGrower::redistribute_over_alive() {
+  std::vector<int> alive;
+  for (int i = 0; i < group_.size(); ++i) {
+    if (!group_.is_lost(i)) alive.push_back(i);
+  }
+  GBMO_CHECK(!alive.empty()) << "feature-parallel failover with no survivors";
+  const std::size_t m = ctx_.bins->n_cols();
+  for (auto& df : device_features_) df.clear();
+  // Same contiguous-chunk rule as GrowerContext::create, over the survivors.
+  const std::size_t chunk = (m + alive.size() - 1) / alive.size();
+  for (std::size_t a = 0; a < alive.size(); ++a) {
+    const std::size_t lo = a * chunk;
+    const std::size_t hi = std::min(m, lo + chunk);
+    auto& df = device_features_[static_cast<std::size_t>(alive[a])];
+    for (std::size_t f = lo; f < hi; ++f) {
+      df.push_back(static_cast<std::uint32_t>(f));
+    }
+  }
 }
 
 void TreeGrower::build_node_histogram(const ActiveNode& node, NodeHistogram& out,
@@ -207,7 +233,7 @@ void TreeGrower::flush_leaf_charges() {
   group_.set_phase("leaf");
   pending_leaf_stats_.blocks = std::max<std::uint64_t>(
       1, pending_leaf_stats_.gmem_coalesced_bytes / (256 * sizeof(std::int32_t)));
-  sim::charge_kernel(group_.device(0), "finalize_leaves", pending_leaf_stats_);
+  sim::charge_kernel(charge_device(), "finalize_leaves", pending_leaf_stats_);
   pending_leaf_stats_ = sim::KernelStats{};
   has_pending_leaf_charges_ = false;
 }
@@ -225,18 +251,24 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
   // intersected with each device's column partition.
   if (sampled_features.empty()) {
     grow_features_ = all_features_;
-    grow_device_features_ = ctx_.device_features;
+    grow_device_features_ = device_features_;
   } else {
     grow_features_.assign(sampled_features.begin(), sampled_features.end());
     std::vector<bool> keep(ctx_.bins->n_cols(), false);
     for (std::uint32_t f : sampled_features) keep[f] = true;
-    grow_device_features_.assign(ctx_.device_features.size(), {});
-    for (std::size_t dvc = 0; dvc < ctx_.device_features.size(); ++dvc) {
-      for (std::uint32_t f : ctx_.device_features[dvc]) {
+    grow_device_features_.assign(device_features_.size(), {});
+    for (std::size_t dvc = 0; dvc < device_features_.size(); ++dvc) {
+      for (std::uint32_t f : device_features_[dvc]) {
         if (keep[f]) grow_device_features_[dvc].push_back(f);
       }
     }
   }
+
+  // A mid-grow exception (injected fault that exhausts retries, or a device
+  // loss the booster recovers from) must not leak the previous attempt's
+  // accumulated leaf charges into this one.
+  pending_leaf_stats_ = sim::KernelStats{};
+  has_pending_leaf_charges_ = false;
 
   GrownTree out;
   out.tree = Tree(d);
@@ -263,6 +295,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
   root.totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
   group_.set_phase("histogram");
   for (int i = 0; i < group_.size(); ++i) {
+    if (group_.is_lost(i)) continue;  // failover: survivors recompute in full
     reduce_gradients(group_.device(i), g, h, row_order, d, root.totals);
   }
 
@@ -359,8 +392,10 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
               group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kDataParallel
                   ? grow_features_
                   : grow_device_features_[static_cast<std::size_t>(dev)];
-          subtract_histograms(group_.device(dev), ctx_.layout, feats, parent,
-                              smaller, hh);
+          if (!feats.empty() && !group_.is_lost(dev)) {
+            subtract_histograms(group_.device(dev), ctx_.layout, feats, parent,
+                                smaller, hh);
+          }
           if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
         }
       }
@@ -461,8 +496,10 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       const auto small_rows = std::span<const std::uint32_t>(row_order).subspan(
           small_child.begin, small_child.count());
       for (int dev = 0; dev < group_.size(); ++dev) {
-        reduce_gradients(group_.device(dev), g, h, small_rows, d,
-                         small_child.totals);
+        if (!group_.is_lost(dev)) {
+          reduce_gradients(group_.device(dev), g, h, small_rows, d,
+                           small_child.totals);
+        }
         if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
       }
       large_child.totals.resize(static_cast<std::size_t>(d));
@@ -497,7 +534,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       group_.set_phase("partition");
       level_partition_stats.blocks =
           std::max<std::uint64_t>(1, level_partition_rows / 256);
-      sim::charge_kernel(group_.device(0), "partition_rows",
+      sim::charge_kernel(charge_device(), "partition_rows",
                          level_partition_stats);
       if (group_.size() > 1 && cfg.multi_gpu == MultiGpuMode::kFeatureParallel) {
         // Owners broadcast the level's left/right bitmaps in one exchange.

@@ -72,6 +72,12 @@ class TreeGrower {
   // (reporting/ablation).
   const HistogramBuilder& builder() const { return *builder_; }
 
+  // Feature-parallel failover (sim/faults.h): after a device is marked lost,
+  // rebuilds the column partition over the surviving devices so the next
+  // grow() call — typically a retry of the tree the loss interrupted — runs
+  // entirely on the survivors. Requires at least one alive device.
+  void redistribute_over_alive();
+
  private:
   struct ActiveNode {
     std::int32_t tree_node = -1;
@@ -95,11 +101,18 @@ class TreeGrower {
                     std::vector<std::int32_t>& leaf_of_row);
   void flush_leaf_charges();
 
+  // The first alive device (device 0 unless it was lost) — target for the
+  // single-device charges (leaf finalize, partition kernel).
+  sim::Device& charge_device();
+
   sim::DeviceGroup& group_;
   const GrowerContext& ctx_;
   std::unique_ptr<HistogramBuilder> builder_;
   SplitScratch split_scratch_;
   std::vector<std::uint32_t> all_features_;
+  // Live column partition: starts as ctx_.device_features and shrinks to the
+  // survivors on redistribute_over_alive() (lost devices end up empty).
+  std::vector<std::vector<std::uint32_t>> device_features_;
   // This tree's feature view (= all_features_ unless colsample is active)
   // and its intersection with every device's column partition.
   std::vector<std::uint32_t> grow_features_;

@@ -44,6 +44,24 @@ struct BuildTally {
   }
 };
 
+// Restage-on-retry helper (sim/faults.h): builders accumulate into `out`
+// slots that are zero on entry (the builder contract), so re-zeroing this
+// call's feature slots before every launch attempt makes a retried build
+// bit-identical to a clean one. Touches only `in.features` — other devices'
+// feature slices of a shared histogram stay intact.
+inline void restage_feature_slots(const HistBuildInput& in, NodeHistogram& out) {
+  const auto& layout = *in.layout;
+  const int d = layout.n_outputs();
+  for (const std::uint32_t f : in.features) {
+    const int n_bins = layout.n_bins(f);
+    for (int b = 0; b < n_bins; ++b) {
+      const std::size_t base = layout.slot(f, b, 0);
+      for (int k = 0; k < d; ++k) out.sums[base + static_cast<std::size_t>(k)] = {};
+      out.counts[layout.bin_index(f, b)] = 0;
+    }
+  }
+}
+
 // Fetches the bin id of (row, feature) honoring the packed flag.
 inline std::uint8_t fetch_bin(const data::BinnedMatrix& bins, bool packed,
                               std::size_t row, std::size_t f) {

@@ -35,6 +35,22 @@ void build_level_histograms_csc(sim::Device& dev,
   }
   if (grid == 0) grid = 1;
 
+  // Restage-on-retry: the sweep scatters into every node's histogram at this
+  // device's feature slots (zero on entry), so re-zero exactly those slots
+  // per attempt — other devices' feature slices stay intact.
+  sim::with_retry(dev, [&] {
+  for (const auto& node : per_node) {
+    for (std::uint32_t f : features) {
+      const int n_bins = layout.n_bins(f);
+      for (int b = 0; b < n_bins; ++b) {
+        const std::size_t base = layout.slot(f, b, 0);
+        for (int k = 0; k < d; ++k) {
+          node.hist->sums[base + static_cast<std::size_t>(k)] = {};
+        }
+        node.hist->counts[layout.bin_index(f, b)] = 0;
+      }
+    }
+  }
   sim::launch(dev, "hist_csc_sweep", grid, kBlock, [&](sim::BlockCtx& blk) {
     // The functional sweep runs once (block 0); the launch geometry above
     // carries the parallel shape for the cost model.
@@ -95,6 +111,7 @@ void build_level_histograms_csc(sim::Device& dev,
     s.atomic_global_ops += scattered * static_cast<std::uint64_t>(d) * 2;
     s.atomic_global_conflicts += conflicts;
     s.flops += scattered * static_cast<std::uint64_t>(d) * 2;
+  });
   });
 
   // Zero bins + zero-bin counts by subtraction, per node and feature.

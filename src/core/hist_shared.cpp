@@ -71,6 +71,8 @@ class SharedBuilder final : public HistogramBuilder {
       }
     }
 
+    sim::with_retry(dev, [&] {
+    detail::restage_feature_slots(in, out);
     sim::launch(dev, "hist_smem", grid, 256, [&](sim::BlockCtx& blk) {
       // Block-private shared-memory tile (blocks may run on parallel
       // scheduler workers, so scratch cannot be shared across blocks).
@@ -163,6 +165,7 @@ class SharedBuilder final : public HistogramBuilder {
       s.atomic_global_ops += flushed * 2;
       s.gmem_coalesced_bytes += flushed * 2 * sizeof(sim::GradPair);
       s.flops += smem_updates * static_cast<std::uint64_t>(d) * 2;
+    });
     });
 
     reconstruct_zero_bins(in, out);

@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -141,6 +142,98 @@ Model read_model(std::istream& is) {
   return model;
 }
 
+namespace {
+constexpr const char* kCkptMagic = "gbmo-ckpt-v1";
+
+double read_double(std::istream& is) {
+  std::string tok;
+  GBMO_CHECK(static_cast<bool>(is >> tok)) << "truncated checkpoint file";
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  GBMO_CHECK(end != tok.c_str() && *end == '\0') << "bad double: " << tok;
+  return v;
+}
+}  // namespace
+
+void write_checkpoint(std::ostream& os, const Checkpoint& ckpt) {
+  os << kCkptMagic << '\n';
+  os << "progress " << ckpt.trees_completed << '\n';
+  os << "rng";
+  for (const std::uint64_t w : ckpt.rng_state) os << ' ' << w;
+  os << '\n';
+  // Floats at max_digits10 = 9 round-trip exactly (same as the model
+  // format); the early-stopping doubles need 17.
+  os << std::setprecision(9);
+  os << "scores " << ckpt.scores.size();
+  for (const float v : ckpt.scores) os << ' ' << v;
+  os << '\n';
+  os << "earlystop " << std::setprecision(17) << ckpt.best_valid << ' '
+     << ckpt.rounds_since_best << ' ' << ckpt.best_tree_count << '\n';
+  os << std::setprecision(9) << "validscores " << ckpt.valid_scores.size();
+  for (const float v : ckpt.valid_scores) os << ' ' << v;
+  os << '\n';
+  os << std::setprecision(17) << "validmetrics "
+     << ckpt.valid_metric_per_tree.size();
+  for (const double v : ckpt.valid_metric_per_tree) os << ' ' << v;
+  os << '\n';
+  os << "model\n";
+  write_model(os, ckpt.model);
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  std::string line;
+  GBMO_CHECK(static_cast<bool>(std::getline(is, line)) && line == kCkptMagic)
+      << "not a gbmo checkpoint file";
+
+  Checkpoint ckpt;
+  std::string tag;
+  GBMO_CHECK(static_cast<bool>(is >> tag >> ckpt.trees_completed) &&
+             tag == "progress");
+  GBMO_CHECK(static_cast<bool>(is >> tag) && tag == "rng");
+  for (auto& w : ckpt.rng_state) {
+    GBMO_CHECK(static_cast<bool>(is >> w)) << "truncated checkpoint file";
+  }
+  std::size_t n = 0;
+  GBMO_CHECK(static_cast<bool>(is >> tag >> n) && tag == "scores");
+  ckpt.scores.resize(n);
+  for (auto& v : ckpt.scores) v = read_float(is);
+  GBMO_CHECK(static_cast<bool>(is >> tag) && tag == "earlystop");
+  ckpt.best_valid = read_double(is);
+  GBMO_CHECK(static_cast<bool>(is >> ckpt.rounds_since_best >>
+                               ckpt.best_tree_count));
+  GBMO_CHECK(static_cast<bool>(is >> tag >> n) && tag == "validscores");
+  ckpt.valid_scores.resize(n);
+  for (auto& v : ckpt.valid_scores) v = read_float(is);
+  GBMO_CHECK(static_cast<bool>(is >> tag >> n) && tag == "validmetrics");
+  ckpt.valid_metric_per_tree.resize(n);
+  for (auto& v : ckpt.valid_metric_per_tree) v = read_double(is);
+  GBMO_CHECK(static_cast<bool>(is >> tag) && tag == "model");
+  is >> std::ws;  // consume the newline before the model's magic line
+  ckpt.model = read_model(is);
+  GBMO_CHECK(ckpt.trees_completed ==
+             static_cast<int>(ckpt.model.trees.size()))
+      << "checkpoint progress disagrees with its embedded model";
+  return ckpt;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    GBMO_CHECK(os.good()) << "cannot open " << tmp;
+    write_checkpoint(os, ckpt);
+    GBMO_CHECK(os.good()) << "failed writing " << tmp;
+  }
+  GBMO_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0)
+      << "cannot rename " << tmp << " to " << path;
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return std::nullopt;  // no checkpoint yet: fresh start
+  return read_checkpoint(is);
+}
+
 void save_model(const std::string& path, const Model& model) {
   std::ofstream os(path);
   GBMO_CHECK(os.good()) << "cannot open " << path;
@@ -148,9 +241,15 @@ void save_model(const std::string& path, const Model& model) {
 }
 
 Model load_model(const std::string& path) {
+  // Plain Errors, not GBMO_CHECKs: these are the user-facing failure modes
+  // of `gbmo <cmd> --model`, and the CLI prints e.what() verbatim.
   std::ifstream is(path);
-  GBMO_CHECK(is.good()) << "cannot open " << path;
-  return read_model(is);
+  if (!is.good()) throw Error("cannot open model file: " + path);
+  try {
+    return read_model(is);
+  } catch (const Error& e) {
+    throw Error("failed to load model from " + path + ": " + e.what());
+  }
 }
 
 }  // namespace gbmo::core

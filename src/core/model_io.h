@@ -3,8 +3,12 @@
 // tree (structure + d-dimensional leaf vectors).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/booster.h"
 
@@ -15,5 +19,32 @@ Model read_model(std::istream& is);
 
 void save_model(const std::string& path, const Model& model);
 Model load_model(const std::string& path);
+
+// Booster checkpoint (.gbmo-ckpt): everything fit() needs to resume at tree
+// `trees_completed` and still produce a final model bitwise-identical to an
+// uninterrupted run — the partial model, the sampler RNG state, the running
+// training scores, and the early-stopping bookkeeping.
+struct Checkpoint {
+  int trees_completed = 0;
+  std::array<std::uint64_t, 4> rng_state{};  // row/feature sampler (xoshiro)
+  std::vector<float> scores;                 // train scores, [row * d + k]
+  // Early-stopping state; only meaningful when fit() received a validation
+  // set (valid_scores empty otherwise).
+  std::vector<float> valid_scores;
+  std::vector<double> valid_metric_per_tree;
+  double best_valid = 0.0;
+  int rounds_since_best = 0;
+  int best_tree_count = 0;
+  Model model;
+};
+
+void write_checkpoint(std::ostream& os, const Checkpoint& ckpt);
+Checkpoint read_checkpoint(std::istream& is);
+
+// Atomic save: writes `path`.tmp then renames over `path`, so a kill mid-save
+// never corrupts the previous checkpoint.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+// nullopt when the file does not exist (fresh start); malformed files throw.
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
 
 }  // namespace gbmo::core

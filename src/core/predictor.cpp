@@ -17,6 +17,16 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
   GBMO_CHECK(scores.size() == n * static_cast<std::size_t>(d));
 
   constexpr int kBlock = 256;
+  // The applying launch increments scores in place, so a faulted attempt may
+  // leave some rows updated. Restage-on-retry: snapshot the scores when a
+  // fault plan is armed and restore before every attempt (the first
+  // attempt's restore is an identical copy — a no-op functionally).
+  std::vector<float> staged;
+  if (apply && sim::sim_faults_enabled()) {
+    staged.assign(scores.begin(), scores.end());
+  }
+  sim::with_retry(dev, [&] {
+  if (!staged.empty()) std::copy(staged.begin(), staged.end(), scores.begin());
   sim::launch(dev, "update_scores", std::max(1, sim::blocks_for(n, kBlock)),
               kBlock, [&](sim::BlockCtx& blk) {
     // Checked view (race/memory checker; non-counting — the bulk stats
@@ -43,6 +53,7 @@ void update_scores_from_leaves(sim::Device& dev, const Tree& tree,
       s.gmem_random_accesses += 1;  // leaf-vector gather
       s.flops += static_cast<std::uint64_t>(d);
     });
+  });
   });
 }
 
@@ -104,6 +115,10 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
     // the shared scores under blk.commit(), so the accumulation order is
     // block-id-deterministic for any --sim-threads value.
     const int grid = static_cast<int>(trees.size()) * chunks;
+    // Restage-on-retry: scores start zero-filled, so re-zeroing before every
+    // attempt makes a retried launch bit-identical to a clean one.
+    sim::with_retry(dev, [&] {
+    std::fill(scores.begin(), scores.end(), 0.0f);
     sim::launch(dev, "predict_trees", grid, kBlock, [&](sim::BlockCtx& blk) {
       const std::size_t t = static_cast<std::size_t>(blk.block_id()) /
                             static_cast<std::size_t>(chunks);
@@ -136,13 +151,20 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
         }
       });
     });
+    });
     return;
   }
 
   // Instance-parallel: one launch per tree, one thread per instance. Score
   // writes are block-partitioned (disjoint rows), so they may bypass commit
-  // — the checked view verifies exactly that.
+  // — the checked view verifies exactly that. Each per-tree launch adds into
+  // the running totals, so retries snapshot/restore the scores around the
+  // faulted tree (only when a fault plan is armed).
+  std::vector<float> staged;
   for (const auto& tree : trees) {
+    if (sim::sim_faults_enabled()) staged.assign(scores.begin(), scores.end());
+    sim::with_retry(dev, [&] {
+    if (!staged.empty()) std::copy(staged.begin(), staged.end(), scores.begin());
     sim::launch(dev, "predict_trees", chunks, kBlock, [&](sim::BlockCtx& blk) {
       auto scores_v = blk.global_view(scores, "scores");
       blk.threads([&](int tid) {
@@ -155,6 +177,7 @@ void predict_scores_device(sim::Device& dev, std::span<const Tree> trees,
           scores_v.add(off + k, values[k]);
         }
       });
+    });
     });
   }
 }
@@ -170,6 +193,13 @@ void CachedPredictor::append_tree(const Tree& tree) {
   GBMO_CHECK(tree.n_outputs() == n_outputs_);
   std::vector<std::int32_t> leaf_map(x_.n_rows());
   constexpr int kBlock = 256;
+  // Restage-on-retry: the launch adds into scores_ (leaf_map stores are
+  // idempotent), so snapshot/restore around the attempt when faults are
+  // armed; leaf_maps_ is only appended after a successful launch.
+  std::vector<float> staged;
+  if (sim::sim_faults_enabled()) staged = scores_;
+  sim::with_retry(dev_, [&] {
+  if (!staged.empty()) scores_ = staged;
   sim::launch(dev_, "predict_cached", std::max(1, sim::blocks_for(x_.n_rows(), kBlock)),
               kBlock, [&](sim::BlockCtx& blk) {
     auto scores_v =
@@ -187,6 +217,7 @@ void CachedPredictor::append_tree(const Tree& tree) {
       }
       leaf_map[i] = hit.leaf;
     });
+  });
   });
   leaf_maps_.push_back(std::move(leaf_map));
 }

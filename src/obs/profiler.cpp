@@ -107,6 +107,18 @@ std::uint64_t Profiler::total_check_violations() const {
   return total;
 }
 
+std::uint64_t Profiler::total_faults_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, k] : kernels_) total += k.stats.faults_injected;
+  return total;
+}
+
+std::uint64_t Profiler::total_fault_retries() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, k] : kernels_) total += k.stats.fault_retries;
+  return total;
+}
+
 double Profiler::total_seconds() const {
   double s = 0.0;
   for (const auto& [name, k] : kernels_) s += k.seconds;

@@ -74,6 +74,12 @@ class Profiler : public sim::StatsSink {
   // --sim-check was armed and a kernel violated. Per-kernel counts are in
   // kernels().at(name).stats.check_violations.
   std::uint64_t total_check_violations() const;
+  // Fault-injection totals (KernelStats::faults_injected / fault_retries;
+  // see sim/faults.h) — 0 unless a fault plan was armed. Injections count
+  // fired transient faults; retries count the re-launches that recovered
+  // them (retries < injections means some launch exhausted its budget).
+  std::uint64_t total_faults_injected() const;
+  std::uint64_t total_fault_retries() const;
   // Modeled seconds summed over every kernel and device.
   double total_seconds() const;
   // Modeled seconds charged on one device / the busiest device. With one

@@ -91,17 +91,32 @@ void PredictBatcher::run_batch(std::vector<Pending> batch) {
     std::copy(batch[i].row.begin(), batch[i].row.end(), x.row(i).begin());
   }
 
+  // The engine may throw under fault injection (e.g. the compiled engine's
+  // retries exhaust). The exception must not escape the worker thread — that
+  // would std::terminate the process and leave every promise broken — so it
+  // is captured and forwarded through the batch's futures, and in_flight_ is
+  // decremented on every path (drain()/~PredictBatcher stay live).
   if (sink_ != nullptr) sink_->on_span_begin("predict_batch", engine_.modeled_seconds());
-  const auto scores = engine_.predict(x);
+  std::vector<float> scores;
+  std::exception_ptr error;
+  try {
+    scores = engine_.predict(x);
+  } catch (...) {
+    error = std::current_exception();
+  }
   if (sink_ != nullptr) sink_->on_span_end(engine_.modeled_seconds());
 
   const auto d = static_cast<std::size_t>(engine_.n_outputs());
   const auto done = std::chrono::steady_clock::now();
   double batch_total_ms = 0.0, batch_max_ms = 0.0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::vector<float>(
-        scores.begin() + static_cast<std::ptrdiff_t>(i * d),
-        scores.begin() + static_cast<std::ptrdiff_t>((i + 1) * d)));
+    if (error) {
+      batch[i].promise.set_exception(error);
+    } else {
+      batch[i].promise.set_value(std::vector<float>(
+          scores.begin() + static_cast<std::ptrdiff_t>(i * d),
+          scores.begin() + static_cast<std::ptrdiff_t>((i + 1) * d)));
+    }
     const double ms =
         std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
             .count();
@@ -114,6 +129,8 @@ void PredictBatcher::run_batch(std::vector<Pending> batch) {
   stats_.batches += 1;
   stats_.total_latency_ms += batch_total_ms;
   stats_.max_latency_ms = std::max(stats_.max_latency_ms, batch_max_ms);
+  if (error) stats_.failed_requests += batch.size();
+  stats_.engine_fallbacks = engine_.fallback_count();
   in_flight_ -= batch.size();
 }
 

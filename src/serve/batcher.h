@@ -36,6 +36,12 @@ struct LatencyStats {
   std::uint64_t batches = 0;
   double total_latency_ms = 0.0;  // summed submit->fulfil wall-clock
   double max_latency_ms = 0.0;
+  // Fault-injection visibility (sim/faults.h): requests whose batch's
+  // engine.predict() threw — their futures carry the exception instead of
+  // scores — and the engine's cumulative fallback count (the "resilient"
+  // engine's compiled→reference degradations) as of the last batch.
+  std::uint64_t failed_requests = 0;
+  std::uint64_t engine_fallbacks = 0;
 
   double mean_latency_ms() const {
     return requests == 0 ? 0.0 : total_latency_ms / static_cast<double>(requests);

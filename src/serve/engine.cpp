@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "core/compiled_model.h"
 #include "core/predictor.h"
+#include "sim/faults.h"
 
 namespace gbmo::serve {
 
@@ -48,9 +49,64 @@ class CompiledEngine final : public InferenceEngine {
   core::CompiledModel compiled_;
 };
 
+// Compiled path with graceful degradation (sim/faults.h): a request whose
+// compiled kernels exhaust their transient-fault retries is re-answered by
+// the reference path on a standby device (id -1, so scripted kills never
+// target it); a permanent loss of the primary pins the engine to the
+// fallback. Scores are bit-identical either way — the two paths replay the
+// same float-addition order.
+class ResilientEngine final : public InferenceEngine {
+ public:
+  ResilientEngine(const core::Model& model, sim::DeviceSpec spec)
+      : InferenceEngine(model.n_outputs, spec),
+        model_(model),
+        compiled_(core::CompiledModel::compile(model.trees, model.n_outputs)),
+        fallback_dev_(std::move(spec), /*id=*/-1) {
+    fallback_dev_.set_phase("inference");
+  }
+
+  const char* name() const override { return "resilient"; }
+
+  std::vector<float> predict(const data::DenseMatrix& x) override {
+    std::vector<float> scores(
+        x.n_rows() * static_cast<std::size_t>(n_outputs_), 0.0f);
+    if (!degraded_) {
+      try {
+        core::predict_compiled(dev_, compiled_, x, scores);
+        return scores;
+      } catch (const sim::SimDeviceLost&) {
+        degraded_ = true;  // primary is gone for good
+      } catch (const sim::SimFaultError&) {
+        // Retries exhausted for this request only; the primary stays up.
+      }
+    }
+    ++fallback_count_;
+    std::fill(scores.begin(), scores.end(), 0.0f);
+    core::predict_scores_device(fallback_dev_, model_.trees, x, scores,
+                                /*tree_parallel=*/false);
+    return scores;
+  }
+
+  void set_sink(sim::StatsSink* sink) override {
+    InferenceEngine::set_sink(sink);
+    fallback_dev_.set_sink(sink);
+  }
+
+  std::uint64_t fallback_count() const override { return fallback_count_; }
+
+ private:
+  const core::Model& model_;
+  core::CompiledModel compiled_;
+  sim::Device fallback_dev_;
+  bool degraded_ = false;
+  std::uint64_t fallback_count_ = 0;
+};
+
 }  // namespace
 
-std::vector<std::string> engine_names() { return {"compiled", "reference"}; }
+std::vector<std::string> engine_names() {
+  return {"compiled", "reference", "resilient"};
+}
 
 std::unique_ptr<InferenceEngine> make_engine(const std::string& name,
                                              const core::Model& model,
@@ -61,8 +117,11 @@ std::unique_ptr<InferenceEngine> make_engine(const std::string& name,
   if (name == "reference") {
     return std::make_unique<ReferenceEngine>(model, std::move(spec));
   }
+  if (name == "resilient") {
+    return std::make_unique<ResilientEngine>(model, std::move(spec));
+  }
   GBMO_CHECK(false) << "unknown inference engine: " << name
-                    << " (expected compiled|reference)";
+                    << " (expected compiled|reference|resilient)";
   return nullptr;
 }
 

@@ -2,18 +2,25 @@
 // registry. An engine wraps a trained core::Model together with its own
 // sim::Device and answers batched score requests.
 //
-// Two engines exist:
+// Three engines exist:
 //   - "reference": the tree-at-a-time device path (core::predict_scores_device,
 //     one kernel launch per tree, pointer-chasing traversal). The baseline.
 //   - "compiled":  flattens the forest once into a core::CompiledModel and
 //     predicts through the batched predict_compiled kernels (tree-group ×
 //     row-chunk tiling, shared-memory staged tree slabs). Bit-identical
 //     scores, a fraction of the modeled time.
+//   - "resilient": the compiled path with graceful degradation under fault
+//     injection (sim/faults.h). A request whose compiled kernels exhaust
+//     their retries is re-answered by the reference path on a standby
+//     device (bit-identical scores); a permanent device loss pins the
+//     engine to the fallback. fallback_count() reports how many requests
+//     degraded.
 //
-// Both route missing values by the per-node default-left rule, and both
+// All route missing values by the per-node default-left rule, and all
 // answer all-zero scores for a zero-tree model.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,8 +45,11 @@ class InferenceEngine {
   sim::Device& device() { return dev_; }
   double modeled_seconds() const { return dev_.modeled_seconds(); }
   // Optional observability sink (e.g. obs::Profiler), attached to the
-  // engine's device: every predict kernel charge is forwarded.
-  void set_sink(sim::StatsSink* sink) { dev_.set_sink(sink); }
+  // engine's device(s): every predict kernel charge is forwarded.
+  virtual void set_sink(sim::StatsSink* sink) { dev_.set_sink(sink); }
+  // Requests answered by a degraded/fallback path (0 for engines without
+  // one — only "resilient" degrades).
+  virtual std::uint64_t fallback_count() const { return 0; }
 
  protected:
   InferenceEngine(int n_outputs, sim::DeviceSpec spec)
@@ -52,7 +62,7 @@ class InferenceEngine {
 };
 
 // Engine names accepted by make_engine, in preference order:
-// {"compiled", "reference"}.
+// {"compiled", "reference", "resilient"}.
 std::vector<std::string> engine_names();
 
 // Builds the named engine over `model`. The model is held by reference and

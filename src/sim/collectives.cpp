@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "sim/faults.h"
 
 namespace gbmo::sim {
 
@@ -35,14 +36,50 @@ void DeviceGroup::set_sink(StatsSink* sink) {
   for (auto& d : devices_) d->set_sink(sink);
 }
 
+int DeviceGroup::n_alive() const {
+  int k = 0;
+  for (const auto& d : devices_) k += d->is_lost() ? 0 : 1;
+  return k;
+}
+
+int DeviceGroup::first_alive() const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!devices_[i]->is_lost()) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 void DeviceGroup::charge_all(const char* name, double seconds) {
   // Collective time is always attributed to the "comm" phase, whatever
-  // pipeline phase the devices are in when the exchange happens.
+  // pipeline phase the devices are in when the exchange happens. Lost
+  // devices no longer participate and are not charged.
   for (auto& d : devices_) {
+    if (d->is_lost()) continue;
     KernelTag tag(*d, name);
     const std::string phase = d->phase();
     d->set_phase("comm");
     d->add_modeled_time(seconds);
+    d->set_phase(phase);
+  }
+}
+
+void DeviceGroup::maybe_inject_timeout() {
+  if (!sim_faults_enabled()) return;
+  const auto plan = sim_fault_plan();
+  const std::uint64_t ordinal = collective_ordinal_++;
+  if (!collective_timeout_fires(*plan, ordinal)) return;
+  // Modeled as "the collective timed out once and was retransmitted": a
+  // fixed penalty charged to every live participant under the "retry" phase
+  // before the exchange proceeds. The exchanged values are untouched, so a
+  // timed-out run's results stay bit-identical to the fault-free run.
+  for (auto& d : devices_) {
+    if (d->is_lost()) continue;
+    KernelTag tag(*d, "collective_timeout");
+    const std::string phase = d->phase();
+    d->set_phase("retry");
+    KernelStats s;
+    s.faults_injected = 1;
+    d->charge_kernel(s, plan->timeout_seconds);
     d->set_phase(phase);
   }
 }
@@ -52,16 +89,23 @@ void DeviceGroup::all_reduce_sum(std::vector<std::span<float>> per_device) {
   if (per_device.empty() || per_device[0].empty()) return;
   const std::size_t n = per_device[0].size();
   for (const auto& s : per_device) GBMO_CHECK(s.size() == n);
+  maybe_inject_timeout();
 
-  // Functional reduction into device 0's buffer, then replicate.
-  for (std::size_t d = 1; d < per_device.size(); ++d) {
-    for (std::size_t i = 0; i < n; ++i) per_device[0][i] += per_device[d][i];
+  // Functional reduction into the first live device's buffer, then replicate
+  // to the other live devices (lost devices neither contribute nor receive).
+  const int root = first_alive();
+  GBMO_CHECK(root >= 0) << "all_reduce_sum with every device lost";
+  auto& acc = per_device[static_cast<std::size_t>(root)];
+  for (std::size_t d = 0; d < per_device.size(); ++d) {
+    if (static_cast<int>(d) == root || is_lost(static_cast<int>(d))) continue;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += per_device[d][i];
   }
-  for (std::size_t d = 1; d < per_device.size(); ++d) {
-    std::copy(per_device[0].begin(), per_device[0].end(), per_device[d].begin());
+  for (std::size_t d = 0; d < per_device.size(); ++d) {
+    if (static_cast<int>(d) == root || is_lost(static_cast<int>(d))) continue;
+    std::copy(acc.begin(), acc.end(), per_device[d].begin());
   }
 
-  const int k = size();
+  const int k = n_alive();
   if (k == 1) return;
   // Ring all-reduce: each device moves 2*(k-1)/k of the payload over 2*(k-1)
   // latency hops.
@@ -76,15 +120,21 @@ void DeviceGroup::all_reduce_sum_u32(
   if (per_device.empty() || per_device[0].empty()) return;
   const std::size_t n = per_device[0].size();
   for (const auto& s : per_device) GBMO_CHECK(s.size() == n);
+  maybe_inject_timeout();
 
-  for (std::size_t d = 1; d < per_device.size(); ++d) {
-    for (std::size_t i = 0; i < n; ++i) per_device[0][i] += per_device[d][i];
+  const int root = first_alive();
+  GBMO_CHECK(root >= 0) << "all_reduce_sum_u32 with every device lost";
+  auto& acc = per_device[static_cast<std::size_t>(root)];
+  for (std::size_t d = 0; d < per_device.size(); ++d) {
+    if (static_cast<int>(d) == root || is_lost(static_cast<int>(d))) continue;
+    for (std::size_t i = 0; i < n; ++i) acc[i] += per_device[d][i];
   }
-  for (std::size_t d = 1; d < per_device.size(); ++d) {
-    std::copy(per_device[0].begin(), per_device[0].end(), per_device[d].begin());
+  for (std::size_t d = 0; d < per_device.size(); ++d) {
+    if (static_cast<int>(d) == root || is_lost(static_cast<int>(d))) continue;
+    std::copy(acc.begin(), acc.end(), per_device[d].begin());
   }
 
-  const int k = size();
+  const int k = n_alive();
   if (k == 1) return;
   const double bytes = static_cast<double>(n) * sizeof(std::uint32_t);
   charge_all("ring_all_reduce", 2.0 * (k - 1) * (bytes / k / link_.bandwidth + link_.latency));
@@ -97,6 +147,7 @@ void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
   std::size_t total = 0;
   for (const auto& s : per_device) total += s.size();
   for (const auto& o : out) GBMO_CHECK(o.size() == total);
+  maybe_inject_timeout();
 
   for (std::size_t d = 0; d < out.size(); ++d) {
     std::size_t pos = 0;
@@ -106,8 +157,8 @@ void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
     }
   }
 
-  const int k = size();
-  if (k == 1) return;
+  const int k = n_alive();
+  if (k <= 1) return;
   const double bytes = static_cast<double>(total) * sizeof(float);
   const double t = (k - 1) * (bytes / k / link_.bandwidth + link_.latency);
   charge_all("all_gather", t);
@@ -115,8 +166,9 @@ void DeviceGroup::all_gather(std::vector<std::span<const float>> per_device,
 
 void DeviceGroup::charge_broadcast(std::size_t bytes, int root) {
   GBMO_CHECK(root >= 0 && root < size());
-  const int k = size();
-  if (k == 1) return;
+  maybe_inject_timeout();
+  const int k = n_alive();
+  if (k <= 1) return;
   const double hops = std::ceil(std::log2(static_cast<double>(k)));
   const double t = hops * (static_cast<double>(bytes) / link_.bandwidth + link_.latency);
   charge_all("broadcast", t);
@@ -125,15 +177,20 @@ void DeviceGroup::charge_broadcast(std::size_t bytes, int root) {
 BestSplitMsg DeviceGroup::all_reduce_best_split(
     std::span<const BestSplitMsg> per_device) {
   GBMO_CHECK(per_device.size() == devices_.size());
-  BestSplitMsg best = per_device[0];
-  for (std::size_t d = 1; d < per_device.size(); ++d) {
+  maybe_inject_timeout();
+  const int root = first_alive();
+  GBMO_CHECK(root >= 0) << "all_reduce_best_split with every device lost";
+  BestSplitMsg best = per_device[static_cast<std::size_t>(root)];
+  for (std::size_t d = static_cast<std::size_t>(root) + 1;
+       d < per_device.size(); ++d) {
+    if (is_lost(static_cast<int>(d))) continue;
     const auto& m = per_device[d];
     if (m.gain > best.gain ||
         (m.gain == best.gain && m.device >= 0 && m.device < best.device)) {
       best = m;
     }
   }
-  const int k = size();
+  const int k = n_alive();
   if (k > 1) {
     const double hops = 2.0 * std::ceil(std::log2(static_cast<double>(k)));
     charge_all("best_split_reduce",

@@ -42,6 +42,18 @@ class DeviceGroup {
   Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
   const LinkSpec& link() const { return link_; }
 
+  // --- fault tolerance (sim/faults.h) --------------------------------------
+  // A device marked lost (permanent failure) is excluded from every
+  // collective: it neither contributes values nor receives results, and no
+  // further time is charged to it. The training layer re-partitions work
+  // over the survivors (feature-parallel failover).
+  void mark_lost(int i) { device(i).mark_lost(); }
+  bool is_lost(int i) const {
+    return devices_[static_cast<std::size_t>(i)]->is_lost();
+  }
+  int n_alive() const;
+  int first_alive() const;  // lowest live device id; -1 if none
+
   void set_phase(const std::string& phase);
   double max_modeled_seconds() const;
   void reset_time();
@@ -78,10 +90,17 @@ class DeviceGroup {
 
  private:
   void charge_all(const char* name, double seconds);
+  // Deterministic collective-timeout injection: draws on the group's own
+  // collective ordinal; when it fires, a modeled timeout-and-retransmit
+  // penalty is charged to every live device under the "retry" phase before
+  // the exchange proceeds (values are unaffected, so results stay
+  // bit-identical to the fault-free run).
+  void maybe_inject_timeout();
 
   std::vector<std::unique_ptr<Device>> devices_;
   LinkSpec link_;
   StatsSink* sink_ = nullptr;
+  std::uint64_t collective_ordinal_ = 0;
 };
 
 // RAII pipeline span: brackets a region of the training loop with

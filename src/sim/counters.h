@@ -49,6 +49,14 @@ struct KernelStats {
   // the obs Profiler. The cost model ignores it.
   std::uint64_t check_violations = 0;
 
+  // Fault-injection accounting (sim/faults.h): injected fault events
+  // (transient failures and collective timeouts) and retry attempts charged
+  // against this kernel label. Ride the same charge -> sink path as
+  // check_violations; the cost model ignores them (the backoff/timeout
+  // penalty is charged as modeled seconds under the "retry" phase).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t fault_retries = 0;
+
   KernelStats& operator+=(const KernelStats& o) {
     gmem_coalesced_bytes += o.gmem_coalesced_bytes;
     gmem_random_accesses += o.gmem_random_accesses;
@@ -64,6 +72,8 @@ struct KernelStats {
     sort_pairs_bytes += o.sort_pairs_bytes;
     scan_bytes += o.scan_bytes;
     check_violations += o.check_violations;
+    faults_injected += o.faults_injected;
+    fault_retries += o.fault_retries;
     return *this;
   }
 };

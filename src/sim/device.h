@@ -4,6 +4,7 @@
 // behaviour (Figure 7).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -95,6 +96,18 @@ class Device {
   int trace_tree() const { return tree_; }
   int trace_level() const { return level_; }
 
+  // --- fault injection (sim/faults.h) --------------------------------------
+  // Launch-attempt ordinal: bumped once per sim::launch when a fault plan is
+  // armed; the injector's decisions key on (seed, device id, ordinal), so
+  // they are independent of the scheduler's --sim-threads value. Permanent
+  // loss (a scripted "kill") makes every subsequent launch on this device
+  // throw SimDeviceLost at entry.
+  std::uint64_t next_launch_ordinal() {
+    return launch_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void mark_lost() { lost_.store(true, std::memory_order_relaxed); }
+  bool is_lost() const { return lost_.load(std::memory_order_relaxed); }
+
   // --- memory accounting ---------------------------------------------------
   // DeviceBuffer reports allocations; exceeding the spec's capacity throws
   // sim::OutOfDeviceMemory from the allocation site (see buffer.h).
@@ -122,6 +135,8 @@ class Device {
   std::string kernel_ = "unattributed";
   int tree_ = -1;
   int level_ = -1;
+  std::atomic<std::uint64_t> launch_ordinal_{0};
+  std::atomic<bool> lost_{false};
 };
 
 // RAII kernel label: names every charge made against `dev` while in scope,

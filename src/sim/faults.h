@@ -1,0 +1,171 @@
+// Seeded, deterministic fault injection for the cusim substrate.
+//
+// Production GBDT training at multi-GPU scale must survive transient kernel
+// failures, permanent device loss and collective timeouts; the simulator is
+// the one place those hazards can be reproduced *deterministically*. When a
+// FaultPlan is armed (--sim-faults / GBMO_SIM_FAULTS / TrainConfig::faults),
+// every sim::launch draws a fault decision from a counter-based hash of
+// (plan seed, device id, per-device launch ordinal) — independent of the
+// host scheduler's --sim-threads value and of wall-clock, so a given plan
+// fires the same faults at the same launches on every run:
+//
+//  - Transient kernel failure: the launch throws SimFaultError when its
+//    target block starts, *before* any stats are charged (a failed launch
+//    costs nothing; the retry's backoff is charged separately under the
+//    "retry" phase). Recovery: sim::with_retry around the launch, with the
+//    caller re-staging all launch outputs so a retried attempt is
+//    bit-identical to a clean one.
+//  - Permanent device loss: a scripted "kill=DEV@LAUNCH" entry marks the
+//    device lost; this launch and every later launch on it throws
+//    SimDeviceLost at entry (no partial side effects). Recovery: the booster
+//    rebuilds the feature partition over surviving devices (feature-parallel
+//    mode) and redoes the interrupted boosting round.
+//  - Collective timeout: DeviceGroup collectives charge a modeled
+//    timeout-and-retransmit penalty to the "retry" phase before proceeding;
+//    the exchanged values are unaffected, so results stay bit-identical.
+//
+// Spec grammar (keys separated by ';' or ','):
+//
+//   transient=P       per-launch transient-failure probability in [0,1]
+//   timeout=P         per-collective timeout probability in [0,1]
+//   seed=N            decision seed (default 0x5eed)
+//   kernel=SUBSTR     only fault kernels whose label contains SUBSTR
+//   device=D          only fault launches on device id D
+//   fail=D@K          scripted transient failure at device D's K-th launch
+//   kill=D@K          scripted permanent loss of device D at its K-th launch
+//   retries=N         with_retry attempt budget after the first failure
+//   backoff=S         modeled base backoff seconds charged per retry
+//   timeout-cost=S    modeled penalty seconds per collective timeout
+//
+// "", "0" and "off" parse to a disabled plan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/device.h"
+
+namespace gbmo::sim {
+
+enum class FaultKind : std::uint8_t { kNone, kTransient, kDeviceLoss };
+
+// Explicit "fail launch #K on device D" script entry.
+struct ScriptedFault {
+  int device = -1;
+  std::uint64_t launch = 0;  // per-device launch ordinal (0-based)
+  FaultKind kind = FaultKind::kTransient;
+};
+
+struct FaultPlan {
+  double transient_rate = 0.0;  // per-launch SimFaultError probability
+  double timeout_rate = 0.0;    // per-collective timeout probability
+  std::uint64_t seed = 0x5eed;
+  std::string kernel_filter;    // substring of the kernel label; empty = all
+  int device_filter = -1;       // probabilistic faults on this device only
+  std::vector<ScriptedFault> script;
+  int max_retries = 3;              // with_retry budget after the first failure
+  double backoff_seconds = 25e-6;   // modeled base backoff per retry
+  double timeout_seconds = 250e-6;  // modeled penalty per collective timeout
+
+  bool enabled() const {
+    return transient_rate > 0.0 || timeout_rate > 0.0 || !script.empty();
+  }
+
+  // Parses the spec grammar above; throws gbmo::Error on an unknown key or
+  // malformed value. Empty / "0" / "off" return a disabled plan.
+  static FaultPlan parse(const std::string& spec);
+  std::string to_string() const;  // canonical spec (parse round-trips)
+};
+
+// --- arming ------------------------------------------------------------------
+// Mirrors the checker's arming model (sim/checker.h): a process-wide override
+// set programmatically, else the cached GBMO_SIM_FAULTS env default.
+std::shared_ptr<const FaultPlan> sim_fault_plan();  // never null
+void set_sim_faults(FaultPlan plan);                // process-wide override
+void set_sim_faults(const std::string& spec);       // parse + arm
+void reset_sim_faults();                            // back to the env default
+bool sim_faults_enabled();  // one relaxed atomic load on the hot path
+
+// --- errors ------------------------------------------------------------------
+// Transient kernel failure: retryable (sim::with_retry). Thrown from the
+// faulted launch before any stats are charged.
+class SimFaultError : public Error {
+ public:
+  SimFaultError(std::string kernel, int device, std::uint64_t launch,
+                int block);
+  const std::string& kernel() const { return kernel_; }
+  int device() const { return device_; }
+  std::uint64_t launch() const { return launch_; }
+  int block() const { return block_; }
+
+ private:
+  std::string kernel_;
+  int device_;
+  std::uint64_t launch_;
+  int block_;
+};
+
+// Permanent device loss: NOT retryable at the launch level. The training
+// layer recovers by failing over to surviving devices (or aborts).
+class SimDeviceLost : public Error {
+ public:
+  explicit SimDeviceLost(int device);
+  int device() const { return device_; }
+
+ private:
+  int device_;
+};
+
+// --- launch-time decision ----------------------------------------------------
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  int block = -1;            // target block of a transient fault
+  std::uint64_t ordinal = 0; // the launch-attempt ordinal that was drawn
+};
+
+// Draws the fault decision for the launch starting now on `dev` (called by
+// sim::launch when faults are armed). Bumps the device's launch ordinal
+// exactly once per call — retried attempts draw fresh, equally deterministic
+// decisions — and never inspects scheduler state, so the decision sequence
+// is identical for every --sim-threads value.
+FaultDecision next_launch_fault(Device& dev, const FaultPlan& plan,
+                                int grid_dim);
+
+// Deterministic per-collective timeout draw (DeviceGroup bumps and passes its
+// own collective ordinal).
+bool collective_timeout_fires(const FaultPlan& plan, std::uint64_t ordinal);
+
+// Charges one retry's modeled backoff (bounded exponential) plus the
+// fault/retry counters to `dev` under the "retry" phase, re-tagged with the
+// failed kernel's name so the profiler attributes it.
+void charge_retry(Device& dev, const FaultPlan& plan, const SimFaultError& e,
+                  int attempt);
+
+// Retry-with-bounded-backoff around a kernel-launching operation. `op` must
+// be self-restaging: it fully resets every output it writes before
+// launching, so a retried attempt is bit-identical to a clean first run.
+// Only SimFaultError is retried; SimDeviceLost (and everything else)
+// propagates. Zero overhead when no plan is armed.
+template <typename Op>
+void with_retry(Device& dev, Op&& op) {
+  if (!sim_faults_enabled()) {
+    op();
+    return;
+  }
+  const auto plan = sim_fault_plan();
+  for (int attempt = 0;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const SimFaultError& e) {
+      if (attempt >= plan->max_retries) throw;
+      charge_retry(dev, *plan, e, attempt);
+    }
+  }
+}
+
+}  // namespace gbmo::sim

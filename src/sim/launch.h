@@ -41,6 +41,7 @@
 #include "sim/cost_model.h"
 #include "sim/counters.h"
 #include "sim/device.h"
+#include "sim/faults.h"
 #include "sim/scheduler.h"
 #include "sim/warp.h"
 
@@ -157,6 +158,21 @@ struct LaunchResult {
 // skipped (every block still retires, so no worker hangs).
 template <typename Kernel>
 LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
+  // Fault injection (sim/faults.h): the decision is drawn at launch entry
+  // from (plan seed, device id, launch ordinal) — deterministic for every
+  // --sim-threads value. Device loss throws before any block runs (no
+  // partial side effects); a transient fault throws when its target block
+  // starts, *before* charge_kernel, so a failed attempt costs nothing and
+  // the fault-free run's modeled time is unchanged.
+  FaultDecision fire;
+  if (sim_faults_enabled()) {
+    fire = next_launch_fault(dev, *sim_fault_plan(), grid_dim);
+    if (fire.kind == FaultKind::kDeviceLoss) {
+      dev.mark_lost();
+      throw SimDeviceLost(dev.id());
+    }
+  }
+
   KernelStats merged;
   merged.blocks = static_cast<std::uint64_t>(grid_dim);
   merged.threads = static_cast<std::uint64_t>(grid_dim) * block_dim;
@@ -175,6 +191,9 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
     // Inline path: blocks execute sequentially in block-id order on the
     // calling thread. commit() bodies run immediately — already in order.
     for (int b = 0; b < grid_dim; ++b) {
+      if (fire.kind == FaultKind::kTransient && b == fire.block) {
+        throw SimFaultError(dev.kernel(), dev.id(), fire.ordinal, b);
+      }
       std::unique_ptr<BlockCheck> bc;
       if (lc) bc = std::make_unique<BlockCheck>(*lc, b, block_dim);
       BlockCtx blk(b, block_dim, grid_dim, warp_size, merged, nullptr,
@@ -195,6 +214,9 @@ LaunchResult launch(Device& dev, int grid_dim, int block_dim, Kernel&& kernel) {
                b += n_workers) {
             if (!seq.failed()) {
               try {
+                if (fire.kind == FaultKind::kTransient && b == fire.block) {
+                  throw SimFaultError(dev.kernel(), dev.id(), fire.ordinal, b);
+                }
                 std::unique_ptr<BlockCheck> bc;
                 if (lc) bc = std::make_unique<BlockCheck>(*lc, b, block_dim);
                 BlockCtx blk(b, block_dim, grid_dim, warp_size,

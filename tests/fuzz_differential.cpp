@@ -21,6 +21,13 @@
 // Iteration budget: GBMO_FUZZ_ITERS (default 50). Exit code 0 iff every
 // iteration passed; failures are logged and counted, not fatal, so one bad
 // seed reports all its findings.
+//
+// Chaos mode: GBMO_FUZZ_FAULT_RATE=R (R in (0,1]) arms the deterministic
+// fault injector (sim/faults.h) with a transient rate of R for the whole
+// run. Every system reaches kernels through the hardened core launch sites
+// (retry + restage), so all the invariants above — clean checker, 1-vs-4
+// thread bitwise equality, reference agreement — must hold unchanged while
+// faults fire and are retried.
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -37,6 +44,7 @@
 #include "core/metrics.h"
 #include "data/synthetic.h"
 #include "sim/checker.h"
+#include "sim/faults.h"
 #include "sim/scheduler.h"
 
 namespace {
@@ -245,6 +253,18 @@ int main() {
     if (iters < 1) iters = 1;
   }
   gbmo::sim::set_sim_check(gbmo::sim::CheckMode::kFail);
+  if (const char* env = std::getenv("GBMO_FUZZ_FAULT_RATE")) {
+    const double rate = std::atof(env);
+    if (rate > 0.0) {
+      // Generous retry budget: at rate r the chance a launch exhausts is
+      // r^17, so even long runs never see a legitimate SimFaultError escape.
+      std::ostringstream spec;
+      spec << "transient=" << rate << ";seed=1337;retries=16";
+      gbmo::sim::set_sim_faults(spec.str());
+      std::cerr << "fuzz_differential: chaos mode armed (" << spec.str()
+                << ")\n";
+    }
+  }
   std::cerr << "fuzz_differential: " << iters << " iterations, "
             << gbmo::baselines::registered_systems().size()
             << " systems, checker hard-armed\n";

@@ -106,6 +106,27 @@ TEST(CliErrors, UnknownCommandAndMissingOptions) {
   EXPECT_NE(help.out.find("usage"), std::string::npos);
 }
 
+TEST(CliErrors, ModelLoadFailureExitsNonzeroWithClearMessage) {
+  // Missing file: nonzero exit, message names the path and the problem.
+  const auto missing = run_cli({"info", "--model", tmp_path("never_written")});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("cannot open model file"), std::string::npos);
+  EXPECT_NE(missing.err.find(tmp_path("never_written")), std::string::npos);
+
+  // Present but not a model: nonzero exit, parse failure names the file.
+  const auto garbage_path = tmp_path("garbage.model");
+  {
+    std::ofstream os(garbage_path);
+    os << "this is not a model\n";
+  }
+  const auto garbage = run_cli({"evaluate", "--model", garbage_path, "--data",
+                                tmp_path("data.csv"), "--features", "8"});
+  EXPECT_EQ(garbage.code, 1);
+  EXPECT_NE(garbage.err.find("failed to load model"), std::string::npos);
+  EXPECT_NE(garbage.err.find("not a gbmo model file"), std::string::npos);
+  std::remove(garbage_path.c_str());
+}
+
 TEST(CliBench, RunsNamedReplica) {
   const auto bench = run_cli({"bench", "--dataset", "RF1", "--system", "ours",
                               "--trees", "3", "--bins", "32"});

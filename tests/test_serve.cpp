@@ -16,6 +16,7 @@
 #include "obs/profiler.h"
 #include "serve/batcher.h"
 #include "serve/engine.h"
+#include "sim/faults.h"
 
 namespace gbmo::serve {
 namespace {
@@ -53,9 +54,10 @@ data::DenseMatrix nan_batch(std::size_t rows, std::size_t cols) {
 
 TEST(Serve, EngineRegistry) {
   const auto names = engine_names();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "compiled");
   EXPECT_EQ(names[1], "reference");
+  EXPECT_EQ(names[2], "resilient");
   const auto model = train_model();
   EXPECT_THROW(make_engine("turbo", model), Error);
 }
@@ -158,6 +160,122 @@ TEST(Serve, BatcherEmitsProfilerSpansAndKernelProfile) {
   EXPECT_GE(begins, 1);
   EXPECT_EQ(begins, ends);
   EXPECT_EQ(profiler.span_depth(), 0);
+}
+
+// RAII fault arming for the serve-side chaos tests.
+struct ScopedFaults {
+  explicit ScopedFaults(const std::string& spec) { sim::set_sim_faults(spec); }
+  ~ScopedFaults() { sim::reset_sim_faults(); }
+};
+
+TEST(ServeFaults, ResilientEngineFallsBackWithIdenticalScores) {
+  const auto model = train_model();
+  const auto x = nan_batch(60, 10);
+  const auto reference = make_engine("reference", model)->predict(x);
+
+  // Every compiled launch faults and the retry budget is tiny, so each
+  // request degrades to the reference path — with bit-identical scores.
+  ScopedFaults armed("kernel=predict_compiled;transient=1.0;retries=1;seed=5");
+  auto engine = make_engine("resilient", model);
+  const auto scores = engine->predict(x);
+  ASSERT_EQ(scores.size(), reference.size());
+  EXPECT_EQ(std::memcmp(scores.data(), reference.data(),
+                        scores.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(engine->fallback_count(), 1u);
+  const auto again = engine->predict(x);
+  EXPECT_EQ(engine->fallback_count(), 2u);
+  EXPECT_EQ(std::memcmp(again.data(), reference.data(),
+                        again.size() * sizeof(float)),
+            0);
+}
+
+TEST(ServeFaults, ResilientEnginePinsToFallbackAfterDeviceLoss) {
+  const auto model = train_model();
+  const auto x = nan_batch(40, 10);
+  const auto reference = make_engine("reference", model)->predict(x);
+
+  // Kill the primary (device 0) at its first launch: the engine degrades
+  // permanently and every request is answered by the standby device.
+  ScopedFaults armed("kill=0@0");
+  auto engine = make_engine("resilient", model);
+  for (int round = 1; round <= 3; ++round) {
+    const auto scores = engine->predict(x);
+    EXPECT_EQ(std::memcmp(scores.data(), reference.data(),
+                          scores.size() * sizeof(float)),
+              0)
+        << "round " << round;
+    EXPECT_EQ(engine->fallback_count(), static_cast<std::uint64_t>(round));
+  }
+}
+
+TEST(ServeFaults, CompiledEngineFaultsSurfaceThroughBatcherFutures) {
+  const auto model = train_model();
+  const auto x = nan_batch(32, 10);
+
+  // The plain compiled engine has no fallback: exhausted retries must reach
+  // the caller as future exceptions — not kill the worker thread — and the
+  // batcher must still drain and destruct cleanly under the churn.
+  ScopedFaults armed("kernel=predict_compiled;transient=1.0;retries=0;seed=9");
+  auto engine = make_engine("compiled", model);
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.5;
+  PredictBatcher batcher(*engine, x.n_cols(), cfg);
+
+  std::vector<std::future<std::vector<float>>> futures;
+  for (std::size_t i = 0; i < x.n_rows(); ++i) {
+    const auto r = x.row(i);
+    futures.push_back(batcher.submit(std::vector<float>(r.begin(), r.end())));
+  }
+  std::size_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const sim::SimFaultError&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(failed, x.n_rows());
+  batcher.drain();  // must not deadlock: in_flight_ drains on the fault path
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests, x.n_rows());
+  EXPECT_EQ(stats.failed_requests, x.n_rows());
+  EXPECT_EQ(stats.engine_fallbacks, 0u);
+}
+
+TEST(ServeFaults, BatcherRecordsResilientFallbacksInStats) {
+  const auto model = train_model();
+  const auto x = nan_batch(24, 10);
+  const auto reference = make_engine("reference", model)->predict(x);
+  const auto d = static_cast<std::size_t>(model.n_outputs);
+
+  ScopedFaults armed("kernel=predict_compiled;transient=1.0;retries=0;seed=3");
+  auto engine = make_engine("resilient", model);
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_delay_ms = 0.5;
+  PredictBatcher batcher(*engine, x.n_cols(), cfg);
+
+  std::vector<std::future<std::vector<float>>> futures;
+  for (std::size_t i = 0; i < x.n_rows(); ++i) {
+    const auto r = x.row(i);
+    futures.push_back(batcher.submit(std::vector<float>(r.begin(), r.end())));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto scores = futures[i].get();  // degraded, never exceptional
+    ASSERT_EQ(scores.size(), d);
+    EXPECT_EQ(std::memcmp(scores.data(), reference.data() + i * d,
+                          d * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+  batcher.drain();
+  const auto stats = batcher.stats();
+  EXPECT_EQ(stats.requests, x.n_rows());
+  EXPECT_EQ(stats.failed_requests, 0u);
+  EXPECT_EQ(stats.engine_fallbacks, engine->fallback_count());
+  EXPECT_GE(stats.engine_fallbacks, 1u);
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 #include "data/synthetic.h"
 #include "serve/engine.h"
 #include "sim/checker.h"
+#include "sim/faults.h"
 #include "sim/scheduler.h"
 
 namespace gbmo::cli {
@@ -142,6 +143,12 @@ core::TrainConfig parse_train_config(const Args& args) {
   if (args.flag("sim-check")) {
     cfg.sim_check = true;
     if (!sim::sim_check_enabled()) sim::set_sim_check(sim::CheckMode::kReport);
+  }
+  // Fault injection: armed process-wide (so baseline systems and predict
+  // paths see it too) and recorded in the config for the booster.
+  if (args.has("sim-faults")) {
+    cfg.faults = args.str("sim-faults");
+    sim::set_sim_faults(cfg.faults);
   }
   cfg.subsample = args.number("subsample", cfg.subsample);
   cfg.colsample_bytree = args.number("colsample", cfg.colsample_bytree);
@@ -272,8 +279,18 @@ int cmd_generate(const Args& args, std::ostream& out) {
 
 int cmd_train(const Args& args, std::ostream& out) {
   const auto train = load_dataset(args, "data");
-  const auto cfg = parse_train_config(args);
+  auto cfg = parse_train_config(args);
   const auto model_path = args.require("model");
+  cfg.checkpoint_path = args.str("checkpoint");
+  cfg.checkpoint_every =
+      static_cast<int>(args.integer("checkpoint-every", cfg.checkpoint_every));
+  if (!cfg.checkpoint_path.empty() && cfg.checkpoint_every <= 0) {
+    cfg.checkpoint_every = 10;
+  }
+  cfg.resume = args.flag("resume");
+  if (cfg.resume && cfg.checkpoint_path.empty()) {
+    throw Error("--resume requires --checkpoint FILE");
+  }
   const auto device = parse_device(args.str("device"));
   const auto prof_opts = parse_profile(args);
 
@@ -302,6 +319,10 @@ int cmd_train(const Args& args, std::ostream& out) {
     out << "valid " << veval.metric << ": " << veval.value << "\n";
   }
   out << "model saved to " << model_path << "\n";
+  if (!cfg.checkpoint_path.empty()) {
+    out << "checkpoint every " << cfg.checkpoint_every << " trees: "
+        << cfg.checkpoint_path << (cfg.resume ? " (resumed)" : "") << "\n";
+  }
   emit_profile(prof_opts, profiler, device, out);
   return 0;
 }
@@ -320,6 +341,7 @@ int cmd_predict(const Args& args, std::ostream& out) {
   const auto dataset = load_dataset(args, "data");
   const auto out_path = args.require("out");
   const auto engine_name = args.str("engine", "compiled");
+  if (args.has("sim-faults")) sim::set_sim_faults(args.str("sim-faults"));
   args.reject_unknown();
 
   const auto engine = serve::make_engine(engine_name, model);
@@ -336,6 +358,10 @@ int cmd_predict(const Args& args, std::ostream& out) {
       << " outputs each) to " << out_path << "\n";
   out << "engine " << engine->name() << ": modeled "
       << engine->modeled_seconds() << " s\n";
+  if (engine->fallback_count() > 0) {
+    out << "fallback requests: " << engine->fallback_count()
+        << " (answered by the reference path)\n";
+  }
   return 0;
 }
 
@@ -458,10 +484,11 @@ commands:
              [--hist auto|gmem|smem|sort-reduce --no-warp-opt --no-sparsity-aware]
              [--devices N --mgpu feature|data --device 4090|3090|cpu]
              [--subsample F --colsample F --valid FILE --early-stop N]
-             [--sim-threads N --sim-check]
+             [--sim-threads N --sim-check --sim-faults SPEC]
+             [--checkpoint FILE --checkpoint-every N --resume]
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
   predict    --model FILE --data FILE --features N --out FILE
-             [--engine compiled|reference]
+             [--engine compiled|reference|resilient] [--sim-faults SPEC]
   importance --model FILE [--top K --by gain|count]
   info       --model FILE
   bench      --dataset NAME [--system NAME] [--device 4090|3090|cpu + train options]
@@ -484,6 +511,16 @@ and barrier divergence are detected through the kernel accessor views and
 summarized per kernel after the run. GBMO_SIM_CHECK=1|report|2|fail sets the
 process default (fail throws on the first violating launch). Detection is
 identical for every --sim-threads value.
+
+--sim-faults SPEC (train options and predict) arms the deterministic fault
+injector: e.g. "transient=0.01;seed=7" fires seeded transient kernel faults
+(retried with modeled backoff — the trained model stays bit-identical),
+"kill=1@40" permanently loses device 1 at its 40th launch (feature-parallel
+training fails over to the survivors), "timeout=0.01" injects collective
+timeouts. GBMO_SIM_FAULTS sets the process default. Checkpointing: train
+--checkpoint FILE --checkpoint-every N writes an atomic resumable snapshot
+(model + RNG + scores) every N trees; --resume continues from it and yields
+a final model bitwise-identical to an uninterrupted run.
 
 train and bench accept --profile (print a per-kernel table of modeled time,
 bytes moved, atomic conflict rates and launch geometry) and --trace-out=FILE
