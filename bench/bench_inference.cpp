@@ -23,6 +23,7 @@
 #include "common/timer.h"
 #include "core/booster.h"
 #include "data/synthetic.h"
+#include "serve/batcher.h"
 #include "serve/engine.h"
 
 namespace {
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
   auto cfg = gbmo::bench::paper_config();
   cfg.trees(trees).depth(depth).bins(64);
   gbmo::core::GbmoBooster booster(cfg);
-  const auto model = booster.fit(train);
+  const auto model =
+      std::make_shared<const gbmo::core::Model>(booster.fit(train));
 
   // Prediction batch: fresh draw from the same distribution, with ~1% of
   // cells replaced by NaN so missing-value routing runs on the hot path.
@@ -81,7 +83,7 @@ int main(int argc, char** argv) {
   json.set("rows", static_cast<double>(rows));
   json.set("features", static_cast<double>(features));
   json.set("outputs", static_cast<double>(outputs));
-  json.set("trees", static_cast<double>(model.trees.size()));
+  json.set("trees", static_cast<double>(model->trees.size()));
   json.set("depth", static_cast<double>(depth));
   json.set("repeat", static_cast<double>(repeat));
 
@@ -146,6 +148,38 @@ int main(int argc, char** argv) {
   json.set("bitwise_identical", identical ? 1.0 : 0.0);
   json.set("modeled_speedup", ref->modeled / std::max(comp->modeled, 1e-12));
   json.set("host_speedup", ref->host_best / std::max(comp->host_best, 1e-12));
+
+  // Request-level latency through the micro-batching front-end: submit rows
+  // one at a time to the compiled engine's batcher and report the
+  // percentile view a serving deployment would gate its SLOs on.
+  {
+    const std::size_t latency_rows = std::min<std::size_t>(rows, 2000);
+    progress("batcher latency (" + std::to_string(latency_rows) + " rows)");
+    auto engine = gbmo::serve::make_engine("compiled", model);
+    gbmo::serve::PredictBatcher batcher(
+        *engine, features,
+        gbmo::serve::BatcherConfig{}.batch(64).delay_ms(0.2));
+    std::vector<std::future<std::vector<float>>> futures;
+    futures.reserve(latency_rows);
+    for (std::size_t i = 0; i < latency_rows; ++i) {
+      const auto row = batch.x.row(i);
+      futures.push_back(batcher.submit(std::vector<float>(row.begin(), row.end())));
+    }
+    for (auto& f : futures) (void)f.get();
+    batcher.drain();
+    const auto st = batcher.stats();
+    std::printf(
+        "batcher latency over %llu requests: p50 %.3f ms, p95 %.3f ms, "
+        "p99 %.3f ms, max %.3f ms (mean batch %.1f)\n",
+        static_cast<unsigned long long>(st.requests), st.p50_ms(), st.p95_ms(),
+        st.p99_ms(), st.max_latency_ms, st.mean_batch_size());
+    json.set("batcher_requests", static_cast<double>(st.requests));
+    json.set("batcher_p50_ms", st.p50_ms());
+    json.set("batcher_p95_ms", st.p95_ms());
+    json.set("batcher_p99_ms", st.p99_ms());
+    json.set("batcher_max_ms", st.max_latency_ms);
+    json.set("batcher_mean_batch", st.mean_batch_size());
+  }
   std::printf("wrote %s\n", json.write().c_str());
 
   if (!identical) {

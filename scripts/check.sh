@@ -45,6 +45,14 @@ echo "check: bench_faults smoke OK (faulted models bitwise identical)"
 "$build/bench/bench_inference" --rows 4000 --train-rows 1200 --trees 20 --repeat 1
 echo "check: bench_inference smoke OK (engines bitwise identical)"
 
+# Multi-tenant serve smoke: reduced-scale load run against three deployed
+# models with a mid-flight hot-swap; exits non-zero unless zero requests were
+# dropped or failed, the swap was observed by live traffic, and every score
+# matched the serving version's scalar reference bitwise. See DESIGN.md §10.
+"$build/bench/bench_serve_load" --clients 4 --requests 80 --train-rows 400 \
+  --trees 8 --rows 256
+echo "check: bench_serve_load smoke OK (hot-swap with zero dropped requests)"
+
 # Missing-value fuzz stage: the differential harness with a heavier NaN cell
 # fraction, exercising quantize->train->predict routing across the registry.
 GBMO_FUZZ_NAN_FRAC=0.15 GBMO_FUZZ_ITERS=10 "$build/tests/gbmo_fuzz"
@@ -64,8 +72,8 @@ if [[ "${GBMO_CHECK_TSAN:-1}" != "0" ]]; then
     # Force multiple scheduler workers so TSan actually sees cross-thread
     # traffic even on small grids / 1-core hosts.
     GBMO_SIM_THREADS=4 ctest --test-dir "$tsan_build" --output-on-failure \
-      -R 'ThreadPool|SimParallel'
-    echo "check: TSan stage OK (ThreadPool + SimParallel under -fsanitize=thread)"
+      -R 'ThreadPool|SimParallel|Registry\.|ModelServer\.|Serve\.Batcher'
+    echo "check: TSan stage OK (ThreadPool + SimParallel + serve registry/batcher under -fsanitize=thread)"
   else
     echo "check: TSan stage skipped (toolchain cannot link -fsanitize=thread)"
   fi

@@ -96,47 +96,66 @@ void Profiler::on_span_end(double ts) {
 }
 
 sim::KernelStats Profiler::total_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
   sim::KernelStats total;
   for (const auto& [name, k] : kernels_) total += k.stats;
   return total;
 }
 
+std::uint64_t Profiler::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [name, k] : kernels_) total += k.events;
+  return total;
+}
+
 std::uint64_t Profiler::total_check_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [name, k] : kernels_) total += k.stats.check_violations;
   return total;
 }
 
 std::uint64_t Profiler::total_faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [name, k] : kernels_) total += k.stats.faults_injected;
   return total;
 }
 
 std::uint64_t Profiler::total_fault_retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
   for (const auto& [name, k] : kernels_) total += k.stats.fault_retries;
   return total;
 }
 
-double Profiler::total_seconds() const {
+double Profiler::total_seconds_unlocked() const {
   double s = 0.0;
   for (const auto& [name, k] : kernels_) s += k.seconds;
   return s;
 }
 
+double Profiler::total_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_seconds_unlocked();
+}
+
 double Profiler::device_seconds(int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = device_seconds_.find(device);
   return it == device_seconds_.end() ? 0.0 : it->second;
 }
 
 double Profiler::max_device_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   double m = 0.0;
   for (const auto& [dev, s] : device_seconds_) m = std::max(m, s);
   return m;
 }
 
 std::string Profiler::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"traceEvents\":[\n";
   // Track-name metadata so chrome://tracing labels the rows.
@@ -170,13 +189,14 @@ void Profiler::write_chrome_trace(const std::string& path) const {
 }
 
 std::string Profiler::profile_table(const sim::DeviceSpec* spec) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<const KernelProfile*> rows;
   rows.reserve(kernels_.size());
   for (const auto& [name, k] : kernels_) rows.push_back(&k);
   std::sort(rows.begin(), rows.end(), [](const KernelProfile* a, const KernelProfile* b) {
     return a->seconds > b->seconds;
   });
-  const double total = total_seconds();
+  const double total = total_seconds_unlocked();
 
   std::vector<std::string> header = {"kernel",  "phase",    "launches",
                                      "ms",      "%",        "GB moved",

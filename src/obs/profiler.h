@@ -58,8 +58,12 @@ class Profiler : public sim::StatsSink {
 
   // sim::StatsSink. The sink callbacks are serialized by an internal mutex,
   // so one Profiler may be attached to a whole DeviceGroup even when kernels
-  // charge from parallel scheduler workers. The read accessors below are
-  // unsynchronized: call them between launches on the launching thread.
+  // charge from parallel scheduler workers. The total_* accessors and the
+  // report builders below take the same mutex, so they are safe to call
+  // while charges are still arriving (the serving registry reads per-model
+  // totals under live traffic); kernels() and trace_events() return
+  // references and must only be read between launches on the launching
+  // thread.
   void on_event(const sim::KernelEvent& e) override;
   void on_span_begin(const std::string& name, double ts) override;
   void on_span_end(double ts) override;
@@ -69,6 +73,8 @@ class Profiler : public sim::StatsSink {
   // Counter totals over every kernel (equals Device::total_stats() summed
   // over attached devices).
   sim::KernelStats total_stats() const;
+  // Time-charging launches/charges summed over every kernel.
+  std::uint64_t total_events() const;
   // Race/memory-checker findings summed over every kernel
   // (KernelStats::check_violations; see sim/checker.h) — 0 unless
   // --sim-check was armed and a kernel violated. Per-kernel counts are in
@@ -104,7 +110,9 @@ class Profiler : public sim::StatsSink {
   void clear();
 
  private:
-  std::mutex mu_;
+  double total_seconds_unlocked() const;
+
+  mutable std::mutex mu_;
   bool capture_trace_;
   std::map<std::string, KernelProfile> kernels_;
   std::map<int, double> device_seconds_;

@@ -1,20 +1,69 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.h"
 
 namespace gbmo::serve {
 
+void LatencyStats::record_latency(double ms) {
+  total_latency_ms += ms;
+  max_latency_ms = std::max(max_latency_ms, ms);
+  if (samples_offered++ % sample_stride == 0) {
+    latency_samples.push_back(ms);
+    if (latency_samples.size() >= kReservoirCapacity) {
+      // Thin to every other retained sample; the stride doubles so the
+      // retained set stays an evenly spaced subsample of the full sequence.
+      std::size_t w = 0;
+      for (std::size_t r = 0; r < latency_samples.size(); r += 2) {
+        latency_samples[w++] = latency_samples[r];
+      }
+      latency_samples.resize(w);
+      sample_stride *= 2;
+    }
+  }
+}
+
+void LatencyStats::merge_from(const LatencyStats& other) {
+  requests += other.requests;
+  batches += other.batches;
+  total_latency_ms += other.total_latency_ms;
+  max_latency_ms = std::max(max_latency_ms, other.max_latency_ms);
+  failed_requests += other.failed_requests;
+  engine_fallbacks += other.engine_fallbacks;
+  rejected_requests += other.rejected_requests;
+  samples_offered += other.samples_offered;
+  sample_stride = std::max(sample_stride, other.sample_stride);
+  latency_samples.insert(latency_samples.end(), other.latency_samples.begin(),
+                         other.latency_samples.end());
+  while (latency_samples.size() >= kReservoirCapacity) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < latency_samples.size(); r += 2) {
+      latency_samples[w++] = latency_samples[r];
+    }
+    latency_samples.resize(w);
+    sample_stride *= 2;
+  }
+}
+
+double LatencyStats::percentile_ms(double p) const {
+  if (latency_samples.empty()) return 0.0;
+  auto sorted = latency_samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sorted.size())));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
 PredictBatcher::PredictBatcher(InferenceEngine& engine, std::size_t n_features,
-                               BatcherConfig config, sim::StatsSink* sink)
-    : engine_(engine),
-      n_features_(n_features),
-      config_(config),
-      sink_(sink) {
+                               BatcherConfig config)
+    : engine_(engine), n_features_(n_features), config_(config) {
   GBMO_CHECK(config_.max_batch > 0);
-  if (sink_ != nullptr) engine_.set_sink(sink_);
+  if (config_.sink != nullptr) engine_.set_sink(config_.sink);
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -25,10 +74,20 @@ PredictBatcher::~PredictBatcher() {
   }
   cv_.notify_all();
   worker_.join();
-  if (sink_ != nullptr) engine_.set_sink(nullptr);
+  if (config_.sink != nullptr) engine_.set_sink(nullptr);
 }
 
 std::future<std::vector<float>> PredictBatcher::submit(std::vector<float> row) {
+  auto future = try_submit(std::move(row));
+  if (!future.has_value()) {
+    throw Error("batcher: admission queue full (" +
+                std::to_string(config_.max_queue) + " rows pending)");
+  }
+  return std::move(*future);
+}
+
+std::optional<std::future<std::vector<float>>> PredictBatcher::try_submit(
+    std::vector<float> row) {
   GBMO_CHECK(row.size() == n_features_)
       << "row has " << row.size() << " features, engine expects " << n_features_;
   Pending p;
@@ -38,6 +97,10 @@ std::future<std::vector<float>> PredictBatcher::submit(std::vector<float> row) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     GBMO_CHECK(!stop_) << "submit after shutdown";
+    if (config_.max_queue > 0 && queue_.size() >= config_.max_queue) {
+      ++stats_.rejected_requests;
+      return std::nullopt;
+    }
     queue_.push_back(std::move(p));
   }
   cv_.notify_one();
@@ -47,6 +110,11 @@ std::future<std::vector<float>> PredictBatcher::submit(std::vector<float> row) {
 void PredictBatcher::drain() {
   std::unique_lock<std::mutex> lock(mu_);
   drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t PredictBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 LatencyStats PredictBatcher::stats() const {
@@ -96,7 +164,9 @@ void PredictBatcher::run_batch(std::vector<Pending> batch) {
   // would std::terminate the process and leave every promise broken — so it
   // is captured and forwarded through the batch's futures, and in_flight_ is
   // decremented on every path (drain()/~PredictBatcher stay live).
-  if (sink_ != nullptr) sink_->on_span_begin("predict_batch", engine_.modeled_seconds());
+  if (config_.sink != nullptr) {
+    config_.sink->on_span_begin("predict_batch", engine_.modeled_seconds());
+  }
   std::vector<float> scores;
   std::exception_ptr error;
   try {
@@ -104,11 +174,11 @@ void PredictBatcher::run_batch(std::vector<Pending> batch) {
   } catch (...) {
     error = std::current_exception();
   }
-  if (sink_ != nullptr) sink_->on_span_end(engine_.modeled_seconds());
+  if (config_.sink != nullptr) config_.sink->on_span_end(engine_.modeled_seconds());
 
   const auto d = static_cast<std::size_t>(engine_.n_outputs());
   const auto done = std::chrono::steady_clock::now();
-  double batch_total_ms = 0.0, batch_max_ms = 0.0;
+  std::vector<double> latencies_ms(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (error) {
       batch[i].promise.set_exception(error);
@@ -117,18 +187,15 @@ void PredictBatcher::run_batch(std::vector<Pending> batch) {
           scores.begin() + static_cast<std::ptrdiff_t>(i * d),
           scores.begin() + static_cast<std::ptrdiff_t>((i + 1) * d)));
     }
-    const double ms =
+    latencies_ms[i] =
         std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
             .count();
-    batch_total_ms += ms;
-    batch_max_ms = std::max(batch_max_ms, ms);
   }
 
   std::lock_guard<std::mutex> lock(mu_);
   stats_.requests += batch.size();
   stats_.batches += 1;
-  stats_.total_latency_ms += batch_total_ms;
-  stats_.max_latency_ms = std::max(stats_.max_latency_ms, batch_max_ms);
+  for (const double ms : latencies_ms) stats_.record_latency(ms);
   if (error) stats_.failed_requests += batch.size();
   stats_.engine_fallbacks = engine_.fallback_count();
   in_flight_ -= batch.size();

@@ -13,28 +13,30 @@ namespace {
 
 class ReferenceEngine final : public InferenceEngine {
  public:
-  ReferenceEngine(const core::Model& model, sim::DeviceSpec spec)
-      : InferenceEngine(model.n_outputs, std::move(spec)), model_(model) {}
+  ReferenceEngine(std::shared_ptr<const core::Model> model, sim::DeviceSpec spec)
+      : InferenceEngine(model->n_outputs, std::move(spec)),
+        model_(std::move(model)) {}
 
   const char* name() const override { return "reference"; }
 
   std::vector<float> predict(const data::DenseMatrix& x) override {
     std::vector<float> scores(
         x.n_rows() * static_cast<std::size_t>(n_outputs_), 0.0f);
-    core::predict_scores_device(dev_, model_.trees, x, scores,
+    core::predict_scores_device(dev_, model_->trees, x, scores,
                                 /*tree_parallel=*/false);
     return scores;
   }
 
  private:
-  const core::Model& model_;
+  std::shared_ptr<const core::Model> model_;
 };
 
 class CompiledEngine final : public InferenceEngine {
  public:
-  CompiledEngine(const core::Model& model, sim::DeviceSpec spec)
-      : InferenceEngine(model.n_outputs, std::move(spec)),
-        compiled_(core::CompiledModel::compile(model.trees, model.n_outputs)) {}
+  CompiledEngine(std::shared_ptr<const core::Model> model, sim::DeviceSpec spec)
+      : InferenceEngine(model->n_outputs, std::move(spec)),
+        compiled_(core::CompiledModel::compile(model->trees, model->n_outputs)) {
+  }
 
   const char* name() const override { return "compiled"; }
 
@@ -57,10 +59,10 @@ class CompiledEngine final : public InferenceEngine {
 // same float-addition order.
 class ResilientEngine final : public InferenceEngine {
  public:
-  ResilientEngine(const core::Model& model, sim::DeviceSpec spec)
-      : InferenceEngine(model.n_outputs, spec),
-        model_(model),
-        compiled_(core::CompiledModel::compile(model.trees, model.n_outputs)),
+  ResilientEngine(std::shared_ptr<const core::Model> model, sim::DeviceSpec spec)
+      : InferenceEngine(model->n_outputs, spec),
+        model_(std::move(model)),
+        compiled_(core::CompiledModel::compile(model_->trees, model_->n_outputs)),
         fallback_dev_(std::move(spec), /*id=*/-1) {
     fallback_dev_.set_phase("inference");
   }
@@ -82,7 +84,7 @@ class ResilientEngine final : public InferenceEngine {
     }
     ++fallback_count_;
     std::fill(scores.begin(), scores.end(), 0.0f);
-    core::predict_scores_device(fallback_dev_, model_.trees, x, scores,
+    core::predict_scores_device(fallback_dev_, model_->trees, x, scores,
                                 /*tree_parallel=*/false);
     return scores;
   }
@@ -95,7 +97,7 @@ class ResilientEngine final : public InferenceEngine {
   std::uint64_t fallback_count() const override { return fallback_count_; }
 
  private:
-  const core::Model& model_;
+  std::shared_ptr<const core::Model> model_;
   core::CompiledModel compiled_;
   sim::Device fallback_dev_;
   bool degraded_ = false;
@@ -108,17 +110,18 @@ std::vector<std::string> engine_names() {
   return {"compiled", "reference", "resilient"};
 }
 
-std::unique_ptr<InferenceEngine> make_engine(const std::string& name,
-                                             const core::Model& model,
-                                             sim::DeviceSpec spec) {
+std::unique_ptr<InferenceEngine> make_engine(
+    const std::string& name, std::shared_ptr<const core::Model> model,
+    sim::DeviceSpec spec) {
+  GBMO_CHECK(model != nullptr) << "make_engine: null model";
   if (name == "compiled") {
-    return std::make_unique<CompiledEngine>(model, std::move(spec));
+    return std::make_unique<CompiledEngine>(std::move(model), std::move(spec));
   }
   if (name == "reference") {
-    return std::make_unique<ReferenceEngine>(model, std::move(spec));
+    return std::make_unique<ReferenceEngine>(std::move(model), std::move(spec));
   }
   if (name == "resilient") {
-    return std::make_unique<ResilientEngine>(model, std::move(spec));
+    return std::make_unique<ResilientEngine>(std::move(model), std::move(spec));
   }
   GBMO_CHECK(false) << "unknown inference engine: " << name
                     << " (expected compiled|reference|resilient)";

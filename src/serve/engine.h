@@ -65,10 +65,12 @@ class InferenceEngine {
 // {"compiled", "reference", "resilient"}.
 std::vector<std::string> engine_names();
 
-// Builds the named engine over `model`. The model is held by reference and
-// must outlive the engine. Throws gbmo::Error for unknown names.
+// Builds the named engine over `model`. The engine takes shared ownership of
+// the model, so the caller's handle may be dropped at any time — there is no
+// lifetime coupling between the model object and the engine. Throws
+// gbmo::Error for unknown names or a null model.
 std::unique_ptr<InferenceEngine> make_engine(
-    const std::string& name, const core::Model& model,
+    const std::string& name, std::shared_ptr<const core::Model> model,
     sim::DeviceSpec spec = sim::DeviceSpec::rtx4090());
 
 }  // namespace gbmo::serve

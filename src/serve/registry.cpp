@@ -1,0 +1,136 @@
+#include "serve/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+
+namespace gbmo::serve {
+
+ModelVersion::ModelVersion(std::string name, int version,
+                           std::shared_ptr<const core::Model> model,
+                           const DeployOptions& opts)
+    : name_(std::move(name)), version_(version), model_(std::move(model)) {
+  GBMO_CHECK(model_ != nullptr) << "ModelVersion: null model";
+  engine_ = make_engine(opts.engine, model_, opts.device);
+  batcher_ = std::make_unique<PredictBatcher>(*engine_, n_features(),
+                                              opts.batcher);
+}
+
+ModelRegistry::~ModelRegistry() { drain(); }
+
+ModelRegistry::Entry* ModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<ModelVersion> ModelRegistry::deploy(
+    const std::string& name, std::shared_ptr<const core::Model> model,
+    DeployOptions opts) {
+  GBMO_CHECK(model != nullptr) << "deploy: null model for " << name;
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = entries_[name];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
+  }
+  // Serialize concurrent deploys to the same name so version numbers and the
+  // live pointer advance together; deploys to other names proceed freely.
+  std::lock_guard<std::mutex> deploy_lock(entry->deploy_mu);
+  int version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = entry->next_version++;
+    ++entry->deployments;
+  }
+  // Build off to the side — engine compilation can be expensive and must not
+  // block routing. The per-model profiler rides in as the batcher sink
+  // unless the caller supplied their own.
+  if (opts.batcher.sink == nullptr) opts.batcher.stats_sink(&entry->profiler);
+  auto next =
+      std::make_shared<ModelVersion>(name, version, std::move(model), opts);
+  // The flip: requesters that already grabbed the old version keep serving
+  // on it (they hold a shared_ptr); everyone after this line sees `next`.
+  auto prev = entry->live.exchange(next);
+  if (prev != nullptr) {
+    // Drain, ledger, release: every request the old version accepted is
+    // answered before its stats are folded in and our reference dropped.
+    prev->batcher().drain();
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->retired.merge_from(prev->batcher().stats());
+  }
+  return next;
+}
+
+std::shared_ptr<ModelVersion> ModelRegistry::live(const std::string& name) const {
+  Entry* entry = find(name);
+  return entry == nullptr ? nullptr : entry->live.load();
+}
+
+bool ModelRegistry::undeploy(const std::string& name) {
+  Entry* entry = find(name);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> deploy_lock(entry->deploy_mu);
+  auto prev = entry->live.exchange(nullptr);
+  if (prev == nullptr) return false;
+  prev->batcher().drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->retired.merge_from(prev->batcher().stats());
+  return true;
+}
+
+std::vector<std::string> ModelRegistry::model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ModelStats ModelRegistry::stats(const std::string& name) const {
+  Entry* entry = find(name);
+  GBMO_CHECK(entry != nullptr) << "unknown model: " << name;
+  ModelStats s;
+  s.model = name;
+  auto live = entry->live.load();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.deployments = entry->deployments;
+    s.latency = entry->retired;
+  }
+  if (live != nullptr) {
+    s.live_version = live->version();
+    s.engine = live->engine().name();
+    s.latency.merge_from(live->batcher().stats());
+  }
+  s.modeled_seconds = entry->profiler.total_seconds();
+  s.kernel_launches = entry->profiler.total_events();
+  return s;
+}
+
+std::vector<ModelStats> ModelRegistry::all_stats() const {
+  std::vector<ModelStats> out;
+  for (const auto& name : model_names()) out.push_back(stats(name));
+  return out;
+}
+
+const obs::Profiler& ModelRegistry::profiler(const std::string& name) const {
+  Entry* entry = find(name);
+  GBMO_CHECK(entry != nullptr) << "unknown model: " << name;
+  return entry->profiler;
+}
+
+void ModelRegistry::drain() {
+  for (const auto& name : model_names()) {
+    if (auto version = live(name)) version->batcher().drain();
+  }
+}
+
+}  // namespace gbmo::serve

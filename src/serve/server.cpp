@@ -1,0 +1,26 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace gbmo::serve {
+
+ModelServer::Submission ModelServer::submit(const std::string& name,
+                                            std::vector<float> row) {
+  auto version = registry_.live(name);
+  if (version == nullptr) {
+    unknown_.fetch_add(1, std::memory_order_relaxed);
+    throw Error("serve: unknown model: " + name);
+  }
+  Submission s;
+  // The shared_ptr grabbed above pins the version: even if a deploy flips
+  // the live pointer right now, this batcher stays alive and answers.
+  auto future = version->batcher().try_submit(std::move(row));
+  if (!future.has_value()) return s;  // admission rejection, counted per-model
+  s.version = std::move(version);
+  s.scores = std::move(*future);
+  return s;
+}
+
+}  // namespace gbmo::serve

@@ -1,0 +1,77 @@
+// ModelServer: the request-routing front-end over a ModelRegistry.
+//
+// Where the registry answers "who owns which model version", the server
+// answers "where does this request go": `submit(name, row)` snapshots the
+// model's live version, routes the row into that version's batcher, and
+// hands back the future plus the exact version that will serve it — so a
+// caller can always tell which deployment produced its scores, including
+// across a concurrent hot-swap.
+//
+// Request outcomes, exhaustively:
+//   - accepted: Submission.version non-null, Submission.scores resolves to
+//     the row's raw score vector (or carries the engine's exception under
+//     fault injection — counted in the model's failed_requests).
+//   - rejected by admission control: the model's queue bound was hit;
+//     Submission.accepted() is false and the rejection is counted in the
+//     model's LatencyStats::rejected_requests. No future exists — the row
+//     was never queued.
+//   - unknown model: throws gbmo::Error and counts unknown_model_requests().
+// Accepted requests are never dropped: the serving version's worker answers
+// everything it accepted even if a deploy retires it mid-request.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/registry.h"
+
+namespace gbmo::serve {
+
+class ModelServer {
+ public:
+  ModelServer() = default;
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  // The ownership layer, for deploy-time knobs the forwarding helpers below
+  // don't cover (undeploy, per-model profiler, ...).
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+  // Forwards to ModelRegistry::deploy (atomic hot-swap when `name` is live).
+  std::shared_ptr<ModelVersion> deploy(const std::string& name,
+                                       std::shared_ptr<const core::Model> model,
+                                       DeployOptions opts = {}) {
+    return registry_.deploy(name, std::move(model), std::move(opts));
+  }
+
+  struct Submission {
+    std::shared_ptr<ModelVersion> version;   // the version that serves the row
+    std::future<std::vector<float>> scores;  // valid iff accepted()
+    bool accepted() const { return version != nullptr; }
+  };
+
+  // Routes one feature row to the live version of `name`. See the class
+  // comment for the accepted / rejected / unknown-model contract.
+  Submission submit(const std::string& name, std::vector<float> row);
+
+  ModelStats stats(const std::string& name) const { return registry_.stats(name); }
+  std::vector<ModelStats> all_stats() const { return registry_.all_stats(); }
+
+  // submit() calls that named a model with no live version.
+  std::uint64_t unknown_model_requests() const { return unknown_.load(); }
+
+  // Blocks until every live batcher answered everything it accepted.
+  void drain() { registry_.drain(); }
+
+ private:
+  ModelRegistry registry_;
+  std::atomic<std::uint64_t> unknown_{0};
+};
+
+}  // namespace gbmo::serve

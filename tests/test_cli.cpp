@@ -75,6 +75,38 @@ TEST_F(CliFlow, TrainEvaluatePredictInfoImportance) {
   EXPECT_NE(imp.out.find("feature "), std::string::npos);
 }
 
+TEST_F(CliFlow, ServeRoutesMixedTrafficAcrossModels) {
+  const auto t1 = run_cli({"train", "--data", tmp_path("data.csv"),
+                           "--features", "8", "--model", tmp_path("sa.model"),
+                           "--trees", "6", "--depth", "4", "--bins", "32"});
+  ASSERT_EQ(t1.code, 0) << t1.err;
+  const auto t2 = run_cli({"train", "--data", tmp_path("data.csv"),
+                           "--features", "8", "--model", tmp_path("sb.model"),
+                           "--trees", "9", "--depth", "3", "--bins", "32"});
+  ASSERT_EQ(t2.code, 0) << t2.err;
+
+  const auto serve = run_cli(
+      {"serve", "--models",
+       "alpha=" + tmp_path("sa.model") + ",beta=" + tmp_path("sb.model"),
+       "--data", tmp_path("data.csv"), "--features", "8", "--batch", "32",
+       "--delay-ms", "0.2", "--rounds", "2"});
+  ASSERT_EQ(serve.code, 0) << serve.err;
+  // Both tenants show up in the SLO table with the percentile columns.
+  EXPECT_NE(serve.out.find("alpha"), std::string::npos);
+  EXPECT_NE(serve.out.find("beta"), std::string::npos);
+  EXPECT_NE(serve.out.find("p50 ms"), std::string::npos);
+  EXPECT_NE(serve.out.find("p99 ms"), std::string::npos);
+  // 400 rows x 2 rounds x 2 models, none rejected or failed.
+  EXPECT_NE(serve.out.find("served 1600 requests across 2 models"),
+            std::string::npos);
+  EXPECT_NE(serve.out.find("0 rejected, 0 failed"), std::string::npos);
+
+  const auto bad = run_cli({"serve", "--models", "broken-entry", "--data",
+                            tmp_path("data.csv"), "--features", "8"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("name=path"), std::string::npos);
+}
+
 TEST_F(CliFlow, TrainWithValidationAndEarlyStop) {
   const auto gen = run_cli({"generate", "--task", "multiclass", "--n", "150",
                             "--m", "8", "--d", "3", "--seed", "10", "--out",

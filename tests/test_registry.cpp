@@ -1,0 +1,365 @@
+// Multi-tenant serving: ModelRegistry ownership/versioning, atomic hot-swap
+// with zero dropped requests, per-model admission + SLO stats, and the
+// ModelServer routing front-end.
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/booster.h"
+#include "core/predictor.h"
+#include "data/synthetic.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace gbmo::serve {
+namespace {
+
+std::shared_ptr<const core::Model> train_model(int d, int trees,
+                                               std::uint64_t seed = 31) {
+  data::MultiregressionSpec spec;
+  spec.n_instances = 300;
+  spec.n_features = 10;
+  spec.n_outputs = d;
+  spec.seed = seed;
+  const auto ds = data::make_multiregression(spec);
+  core::TrainConfig cfg;
+  cfg.n_trees = trees;
+  cfg.max_depth = 4;
+  cfg.learning_rate = 0.4f;
+  cfg.min_instances_per_node = 8;
+  cfg.max_bins = 32;
+  core::GbmoBooster booster(cfg);
+  return std::make_shared<const core::Model>(booster.fit(ds));
+}
+
+data::DenseMatrix request_pool(std::size_t rows) {
+  data::MultiregressionSpec spec;
+  spec.n_instances = rows;
+  spec.n_features = 10;
+  spec.n_outputs = 2;
+  spec.seed = 77;
+  return data::make_multiregression(spec).x;
+}
+
+std::vector<float> row_of(const data::DenseMatrix& x, std::size_t i) {
+  const auto r = x.row(i);
+  return std::vector<float>(r.begin(), r.end());
+}
+
+TEST(Registry, RoutesManyModelsWithBitwiseScores) {
+  const auto pool = request_pool(40);
+  ModelServer server;
+  struct Tenant {
+    std::string name;
+    std::shared_ptr<const core::Model> model;
+    std::vector<float> reference;
+  };
+  std::vector<Tenant> tenants;
+  for (int i = 0; i < 3; ++i) {
+    Tenant t;
+    t.name = "m" + std::to_string(i);
+    t.model = train_model(/*d=*/2 + 2 * i, /*trees=*/5 + i, /*seed=*/31 + i);
+    t.reference = core::predict_scores(t.model->trees, pool, t.model->n_outputs);
+    auto version = server.deploy(t.name, t.model);
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->version(), 1);
+    EXPECT_EQ(version->model_name(), t.name);
+    tenants.push_back(std::move(t));
+  }
+  EXPECT_EQ(server.registry().size(), 3u);
+  EXPECT_EQ(server.registry().model_names(),
+            (std::vector<std::string>{"m0", "m1", "m2"}));
+
+  // Interleave traffic round-robin across the tenants.
+  std::vector<std::vector<ModelServer::Submission>> subs(tenants.size());
+  for (std::size_t i = 0; i < pool.n_rows(); ++i) {
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+      subs[t].push_back(server.submit(tenants[t].name, row_of(pool, i)));
+      ASSERT_TRUE(subs[t].back().accepted());
+    }
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const auto d = static_cast<std::size_t>(tenants[t].model->n_outputs);
+    for (std::size_t i = 0; i < subs[t].size(); ++i) {
+      const auto scores = subs[t][i].scores.get();
+      ASSERT_EQ(scores.size(), d);
+      EXPECT_EQ(std::memcmp(scores.data(), tenants[t].reference.data() + i * d,
+                            d * sizeof(float)),
+                0)
+          << tenants[t].name << " row " << i;
+    }
+  }
+  server.drain();
+  for (const auto& t : tenants) {
+    const auto st = server.stats(t.name);
+    EXPECT_EQ(st.model, t.name);
+    EXPECT_EQ(st.live_version, 1);
+    EXPECT_EQ(st.deployments, 1);
+    EXPECT_EQ(st.engine, "compiled");
+    EXPECT_EQ(st.latency.requests, pool.n_rows());
+    EXPECT_EQ(st.latency.failed_requests, 0u);
+    EXPECT_EQ(st.latency.rejected_requests, 0u);
+  }
+  EXPECT_EQ(server.all_stats().size(), 3u);
+}
+
+TEST(Registry, VersionsAutoIncrementAndLivePointerSwaps) {
+  ModelRegistry registry;
+  const auto v1_model = train_model(2, 4, 1);
+  const auto v2_model = train_model(2, 9, 2);
+  EXPECT_EQ(registry.live("m"), nullptr);
+
+  auto v1 = registry.deploy("m", v1_model);
+  EXPECT_EQ(v1->version(), 1);
+  EXPECT_EQ(registry.live("m").get(), v1.get());
+
+  auto v2 = registry.deploy("m", v2_model,
+                            DeployOptions{}.engine_name("reference"));
+  EXPECT_EQ(v2->version(), 2);
+  EXPECT_EQ(registry.live("m").get(), v2.get());
+  EXPECT_EQ(&v2->model(), v2_model.get());
+
+  const auto st = registry.stats("m");
+  EXPECT_EQ(st.live_version, 2);
+  EXPECT_EQ(st.deployments, 2);
+  EXPECT_EQ(st.engine, "reference");
+  EXPECT_THROW(registry.stats("nope"), Error);
+}
+
+TEST(Registry, HotSwapDrainsOldVersionAndMergesItsStats) {
+  const auto pool = request_pool(30);
+  ModelRegistry registry;
+  const auto v1_model = train_model(2, 4, 1);
+  const auto v1_ref = core::predict_scores(v1_model->trees, pool, 2);
+
+  auto v1 = registry.deploy(
+      "m", v1_model,
+      DeployOptions{}.batcher_config(BatcherConfig{}.batch(8).delay_ms(50.0)));
+  std::vector<std::future<std::vector<float>>> futures;
+  for (std::size_t i = 0; i < pool.n_rows(); ++i) {
+    futures.push_back(v1->batcher().submit(row_of(pool, i)));
+  }
+  // The deploy drains v1 before returning: every queued row must already be
+  // answered (and answered by v1) the moment deploy() comes back.
+  registry.deploy("m", train_model(2, 9, 2));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "row " << i;
+    const auto scores = futures[i].get();
+    EXPECT_EQ(std::memcmp(scores.data(), v1_ref.data() + i * 2,
+                          2 * sizeof(float)),
+              0)
+        << "row " << i;
+  }
+  // v1's ledger survived the swap in the merged per-model stats.
+  const auto st = registry.stats("m");
+  EXPECT_EQ(st.live_version, 2);
+  EXPECT_EQ(st.latency.requests, pool.n_rows());
+  EXPECT_EQ(st.latency.failed_requests, 0u);
+}
+
+TEST(Registry, ConcurrentSubmitAcrossHotSwapResolvesEverything) {
+  constexpr int kThreads = 4;
+  constexpr std::size_t kPerPhase = 25;  // per thread, per phase
+  const auto pool = request_pool(kThreads * kPerPhase);
+  const auto v1_model = train_model(2, 4, 1);
+  const auto v2_model = train_model(2, 9, 2);
+  const auto v1_ref = core::predict_scores(v1_model->trees, pool, 2);
+  const auto v2_ref = core::predict_scores(v2_model->trees, pool, 2);
+
+  ModelServer server;
+  server.deploy("m", v1_model);
+
+  struct Answer {
+    std::size_t row;
+    ModelServer::Submission sub;
+  };
+  std::vector<std::vector<Answer>> answers(kThreads);
+  // Phase barriers make the serving version deterministic: every first-phase
+  // submit lands before the swap, every second-phase submit after it.
+  std::barrier sync(kThreads + 1);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      auto& mine = answers[static_cast<std::size_t>(c)];
+      for (std::size_t j = 0; j < kPerPhase; ++j) {
+        const std::size_t row = static_cast<std::size_t>(c) * kPerPhase + j;
+        mine.push_back({row, server.submit("m", row_of(pool, row))});
+      }
+      sync.arrive_and_wait();  // all phase-1 submits routed
+      sync.arrive_and_wait();  // main thread swapped m -> v2
+      for (std::size_t j = 0; j < kPerPhase; ++j) {
+        const std::size_t row = static_cast<std::size_t>(c) * kPerPhase + j;
+        mine.push_back({row, server.submit("m", row_of(pool, row))});
+      }
+    });
+  }
+  sync.arrive_and_wait();
+  server.deploy("m", v2_model);  // mid-flight hot-swap
+  sync.arrive_and_wait();
+  for (auto& t : clients) t.join();
+
+  std::size_t served_v1 = 0, served_v2 = 0;
+  for (auto& per : answers) {
+    ASSERT_EQ(per.size(), 2 * kPerPhase);
+    for (std::size_t k = 0; k < per.size(); ++k) {
+      auto& a = per[k];
+      ASSERT_TRUE(a.sub.accepted());
+      const int v = a.sub.version->version();
+      // Deterministic routing: phase 1 on v1, phase 2 on v2.
+      EXPECT_EQ(v, k < kPerPhase ? 1 : 2);
+      const auto scores = a.sub.scores.get();  // every future resolves
+      ASSERT_EQ(scores.size(), 2u);
+      const float* expected =
+          (v == 1 ? v1_ref.data() : v2_ref.data()) + a.row * 2;
+      EXPECT_EQ(std::memcmp(scores.data(), expected, 2 * sizeof(float)), 0)
+          << "row " << a.row << " v" << v;
+      (v == 1 ? served_v1 : served_v2) += 1;
+    }
+  }
+  EXPECT_EQ(served_v1, kThreads * kPerPhase);
+  EXPECT_EQ(served_v2, kThreads * kPerPhase);
+
+  server.drain();
+  const auto st = server.stats("m");
+  EXPECT_EQ(st.live_version, 2);
+  EXPECT_EQ(st.deployments, 2);
+  EXPECT_EQ(st.latency.requests, 2u * kThreads * kPerPhase);
+  EXPECT_EQ(st.latency.failed_requests, 0u);
+  EXPECT_EQ(st.latency.rejected_requests, 0u);
+}
+
+TEST(Registry, AdmissionRejectionsSurfaceInModelStats) {
+  ModelServer server;
+  // Big batch + long delay pins the worker in its flush wait; queue_limit 2
+  // is then the admission bound the submits run into.
+  server.deploy("m", train_model(2, 4, 1),
+                DeployOptions{}.batcher_config(
+                    BatcherConfig{}.batch(64).delay_ms(250.0).queue_limit(2)));
+  std::vector<ModelServer::Submission> accepted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto sub = server.submit("m", std::vector<float>(10, 0.5f));
+    if (sub.accepted()) {
+      accepted.push_back(std::move(sub));
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(accepted.size(), 2u);
+  EXPECT_GE(rejected, 1u);
+  for (auto& sub : accepted) (void)sub.scores.get();
+  server.drain();
+  const auto st = server.stats("m");
+  EXPECT_EQ(st.latency.requests, accepted.size());
+  EXPECT_EQ(st.latency.rejected_requests, rejected);
+  EXPECT_EQ(st.latency.failed_requests, 0u);
+}
+
+TEST(ModelServer, UnknownModelThrowsAndIsCounted) {
+  ModelServer server;
+  server.deploy("known", train_model(2, 4, 1));
+  EXPECT_EQ(server.unknown_model_requests(), 0u);
+  EXPECT_THROW(server.submit("ghost", std::vector<float>(10, 0.0f)), Error);
+  EXPECT_THROW(server.submit("ghost", std::vector<float>(10, 0.0f)), Error);
+  EXPECT_EQ(server.unknown_model_requests(), 2u);
+  EXPECT_TRUE(server.submit("known", std::vector<float>(10, 0.0f)).accepted());
+  server.drain();
+}
+
+TEST(Registry, PerModelProfilerAccumulatesAcrossVersions) {
+  const auto pool = request_pool(20);
+  ModelServer server;
+  server.deploy("a", train_model(2, 4, 1));
+  server.deploy("b", train_model(4, 6, 2));
+  auto push = [&](const std::string& name) {
+    std::vector<ModelServer::Submission> subs;
+    for (std::size_t i = 0; i < pool.n_rows(); ++i) {
+      subs.push_back(server.submit(name, row_of(pool, i)));
+    }
+    for (auto& s : subs) (void)s.scores.get();
+  };
+  push("a");
+  push("b");
+  server.drain();
+
+  const auto a1 = server.stats("a");
+  EXPECT_GT(a1.modeled_seconds, 0.0);
+  EXPECT_GT(a1.kernel_launches, 0u);
+  EXPECT_EQ(server.registry().profiler("a").kernels().count(
+                "predict_compiled_route"),
+            1u);
+  // Tenants don't share a profile: "b" has its own totals.
+  const auto b1 = server.stats("b");
+  EXPECT_GT(b1.kernel_launches, 0u);
+  EXPECT_EQ(server.registry().profiler("b").kernels().count(
+                "predict_compiled_route"),
+            1u);
+
+  // A hot-swap keeps charging the same per-model profile.
+  server.deploy("a", train_model(2, 9, 3));
+  push("a");
+  server.drain();
+  const auto a2 = server.stats("a");
+  EXPECT_GT(a2.modeled_seconds, a1.modeled_seconds);
+  EXPECT_GT(a2.kernel_launches, a1.kernel_launches);
+  EXPECT_EQ(a2.latency.requests, 2 * pool.n_rows());
+  EXPECT_THROW(server.registry().profiler("nope"), Error);
+}
+
+TEST(Registry, UndeployRetiresLiveVersionButKeepsLedger) {
+  const auto pool = request_pool(10);
+  ModelRegistry registry;
+  auto v1 = registry.deploy("m", train_model(2, 4, 1));
+  std::vector<std::future<std::vector<float>>> futures;
+  for (std::size_t i = 0; i < pool.n_rows(); ++i) {
+    futures.push_back(v1->batcher().submit(row_of(pool, i)));
+  }
+  v1.reset();  // registry's live pointer is the only owner now
+  EXPECT_TRUE(registry.undeploy("m"));
+  EXPECT_FALSE(registry.undeploy("m"));  // already out of service
+  EXPECT_FALSE(registry.undeploy("never-existed"));
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().size(), 2u);  // drained, not dropped
+  }
+  EXPECT_EQ(registry.live("m"), nullptr);
+  const auto st = registry.stats("m");
+  EXPECT_EQ(st.live_version, 0);
+  EXPECT_EQ(st.engine, "");
+  EXPECT_EQ(st.latency.requests, pool.n_rows());  // ledger survives
+  EXPECT_EQ(registry.model_names(), std::vector<std::string>{"m"});
+
+  // The name can come back into service; versions keep counting up.
+  auto v3 = registry.deploy("m", train_model(2, 5, 4));
+  EXPECT_EQ(v3->version(), 2);
+  EXPECT_EQ(registry.stats("m").live_version, 2);
+}
+
+TEST(Registry, DestructorDrainsLiveBatchers) {
+  const auto pool = request_pool(16);
+  std::vector<std::future<std::vector<float>>> futures;
+  {
+    ModelRegistry registry;
+    auto v1 = registry.deploy(
+        "m", train_model(2, 4, 1),
+        DeployOptions{}.batcher_config(BatcherConfig{}.batch(64).delay_ms(200.0)));
+    for (std::size_t i = 0; i < pool.n_rows(); ++i) {
+      futures.push_back(v1->batcher().submit(row_of(pool, i)));
+    }
+    // Registry (and the version it owns) dies with rows still queued.
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().size(), 2u);  // answered, never a broken promise
+  }
+}
+
+}  // namespace
+}  // namespace gbmo::serve

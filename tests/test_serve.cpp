@@ -1,11 +1,12 @@
 // Serving layer: the engine registry, engine agreement with the scalar
 // reference, and the micro-batching front-end (thread-safe submits, batch
-// flushing, latency stats, profiler spans).
+// flushing, latency percentiles, admission control, profiler spans).
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <future>
 #include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -21,7 +22,7 @@
 namespace gbmo::serve {
 namespace {
 
-core::Model train_model(int d = 4, int trees = 6) {
+std::shared_ptr<const core::Model> train_model(int d = 4, int trees = 6) {
   data::MultiregressionSpec spec;
   spec.n_instances = 300;
   spec.n_features = 10;
@@ -35,7 +36,7 @@ core::Model train_model(int d = 4, int trees = 6) {
   cfg.min_instances_per_node = 8;
   cfg.max_bins = 32;
   core::GbmoBooster booster(cfg);
-  return booster.fit(ds);
+  return std::make_shared<const core::Model>(booster.fit(ds));
 }
 
 data::DenseMatrix nan_batch(std::size_t rows, std::size_t cols) {
@@ -60,12 +61,13 @@ TEST(Serve, EngineRegistry) {
   EXPECT_EQ(names[2], "resilient");
   const auto model = train_model();
   EXPECT_THROW(make_engine("turbo", model), Error);
+  EXPECT_THROW(make_engine("compiled", nullptr), Error);
 }
 
 TEST(Serve, EnginesMatchScalarReferenceBitwise) {
   const auto model = train_model();
   const auto x = nan_batch(200, 10);
-  const auto reference = core::predict_scores(model.trees, x, model.n_outputs);
+  const auto reference = core::predict_scores(model->trees, x, model->n_outputs);
 
   for (const auto& name : engine_names()) {
     auto engine = make_engine(name, model);
@@ -79,18 +81,29 @@ TEST(Serve, EnginesMatchScalarReferenceBitwise) {
   }
 }
 
+TEST(Serve, EngineOwnsModelBeyondCallersHandle) {
+  // The API-redesign contract: the engine shares ownership, so dropping the
+  // caller's handle (the old dangling-reference footgun) is now safe.
+  auto model = train_model();
+  const auto x = nan_batch(50, 10);
+  const auto expected = core::predict_scores(model->trees, x, model->n_outputs);
+  auto engine = make_engine("reference", std::move(model));
+  const auto scores = engine->predict(x);
+  ASSERT_EQ(scores.size(), expected.size());
+  EXPECT_EQ(std::memcmp(scores.data(), expected.data(),
+                        scores.size() * sizeof(float)),
+            0);
+}
+
 TEST(Serve, BatcherMatchesDirectPredictUnderConcurrentSubmits) {
   const auto model = train_model();
   const auto x = nan_batch(120, 10);
-  const auto direct =
-      make_engine("compiled", model)->predict(x);
-  const auto d = static_cast<std::size_t>(model.n_outputs);
+  const auto direct = make_engine("compiled", model)->predict(x);
+  const auto d = static_cast<std::size_t>(model->n_outputs);
 
   auto engine = make_engine("compiled", model);
-  BatcherConfig cfg;
-  cfg.max_batch = 16;
-  cfg.max_delay_ms = 2.0;
-  PredictBatcher batcher(*engine, x.n_cols(), cfg);
+  PredictBatcher batcher(*engine, x.n_cols(),
+                         BatcherConfig{}.batch(16).delay_ms(2.0));
 
   constexpr int kThreads = 4;
   const std::size_t per_thread = x.n_rows() / kThreads;
@@ -129,6 +142,132 @@ TEST(Serve, BatcherMatchesDirectPredictUnderConcurrentSubmits) {
   EXPECT_GE(stats.batches, 1u);
   EXPECT_GE(stats.mean_batch_size(), 1.0);
   EXPECT_LE(stats.mean_latency_ms(), stats.max_latency_ms + 1e-9);
+  // Percentiles are monotone and bracketed by the extremes.
+  EXPECT_LE(stats.p50_ms(), stats.p95_ms());
+  EXPECT_LE(stats.p95_ms(), stats.p99_ms());
+  EXPECT_LE(stats.p99_ms(), stats.max_latency_ms + 1e-9);
+  EXPECT_EQ(stats.rejected_requests, 0u);
+}
+
+TEST(Serve, LatencyPercentilesNearestRank) {
+  LatencyStats stats;
+  for (int i = 1; i <= 1000; ++i) stats.record_latency(static_cast<double>(i));
+  // 1000 samples fit the reservoir untouched (capacity 1024), so the
+  // nearest-rank percentiles are exact.
+  EXPECT_DOUBLE_EQ(stats.p50_ms(), 500.0);
+  EXPECT_DOUBLE_EQ(stats.p95_ms(), 950.0);
+  EXPECT_DOUBLE_EQ(stats.p99_ms(), 990.0);
+  EXPECT_DOUBLE_EQ(stats.percentile_ms(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile_ms(100.0), 1000.0);
+  EXPECT_DOUBLE_EQ(LatencyStats{}.p99_ms(), 0.0);
+}
+
+TEST(Serve, LatencyReservoirBoundedAndDeterministic) {
+  LatencyStats a, b;
+  for (int i = 1; i <= 100000; ++i) {
+    a.record_latency(static_cast<double>(i));
+    b.record_latency(static_cast<double>(i));
+  }
+  EXPECT_LT(a.latency_samples.size(), LatencyStats::kReservoirCapacity);
+  EXPECT_GE(a.latency_samples.size(), LatencyStats::kReservoirCapacity / 4);
+  // Deterministic: the same sequence keeps the same samples.
+  EXPECT_EQ(a.latency_samples, b.latency_samples);
+  EXPECT_EQ(a.sample_stride, b.sample_stride);
+  // The evenly spaced subsample keeps percentiles close on a uniform ramp.
+  EXPECT_NEAR(a.p50_ms(), 50000.0, 5000.0);
+  EXPECT_NEAR(a.p99_ms(), 99000.0, 5000.0);
+  EXPECT_DOUBLE_EQ(a.max_latency_ms, 100000.0);
+}
+
+TEST(Serve, LatencyStatsMergeAccumulates) {
+  LatencyStats a, b;
+  for (int i = 1; i <= 100; ++i) a.record_latency(static_cast<double>(i));
+  for (int i = 101; i <= 200; ++i) b.record_latency(static_cast<double>(i));
+  a.requests = 100;
+  b.requests = 100;
+  b.rejected_requests = 7;
+  a.merge_from(b);
+  EXPECT_EQ(a.requests, 200u);
+  EXPECT_EQ(a.rejected_requests, 7u);
+  EXPECT_DOUBLE_EQ(a.max_latency_ms, 200.0);
+  EXPECT_DOUBLE_EQ(a.p50_ms(), 100.0);  // merged reservoir spans both halves
+  EXPECT_EQ(a.samples_offered, 200u);
+}
+
+TEST(Serve, BatcherAdmissionControlRejectsPastQueueLimit) {
+  const auto model = train_model();
+  auto engine = make_engine("compiled", model);
+  // A huge batch and a long delay pin the worker in its deadline wait, so
+  // the queue bound is what callers hit.
+  PredictBatcher batcher(*engine, 10,
+                         BatcherConfig{}.batch(64).delay_ms(250.0).queue_limit(2));
+
+  std::vector<std::future<std::vector<float>>> accepted;
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto fut = batcher.try_submit(std::vector<float>(10, 0.5f));
+    if (fut.has_value()) {
+      accepted.push_back(std::move(*fut));
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(accepted.size(), 2u);
+  EXPECT_GE(rejected, 1u);
+  // submit() throws where try_submit rejects.
+  if (batcher.pending() >= 2) {
+    EXPECT_THROW(batcher.submit(std::vector<float>(10, 0.5f)), Error);
+  }
+  for (auto& f : accepted) (void)f.get();  // every accepted row is answered
+  batcher.drain();
+  const auto stats = batcher.stats();
+  EXPECT_EQ(accepted.size() + rejected, 10u);
+  EXPECT_GE(stats.rejected_requests, rejected);  // + possible submit() throw
+  EXPECT_EQ(stats.requests, accepted.size());
+  EXPECT_EQ(stats.failed_requests, 0u);
+}
+
+TEST(Serve, BatcherDestructorAnswersEverythingAccepted) {
+  const auto model = train_model();
+  const auto d = static_cast<std::size_t>(model->n_outputs);
+  auto engine = make_engine("compiled", model);
+  std::vector<std::future<std::vector<float>>> futures;
+  {
+    // Long delay: rows are still queued (not flushed) when the destructor
+    // runs. It must answer them all — zero dropped requests.
+    PredictBatcher batcher(*engine, 10,
+                           BatcherConfig{}.batch(256).delay_ms(500.0));
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(batcher.submit(std::vector<float>(10, 0.02f * i)));
+    }
+  }
+  for (auto& f : futures) {
+    const auto scores = f.get();  // throws if any promise was broken
+    EXPECT_EQ(scores.size(), d);
+  }
+}
+
+TEST(Serve, BatcherDrainRacesDestructorSafely) {
+  const auto model = train_model();
+  auto engine = make_engine("compiled", model);
+  // Regression: drain() from several threads while submits are in flight,
+  // with the destructor following immediately after the drains return.
+  for (int round = 0; round < 10; ++round) {
+    auto batcher = std::make_unique<PredictBatcher>(
+        *engine, 10, BatcherConfig{}.batch(8).delay_ms(0.2));
+    std::vector<std::future<std::vector<float>>> futures;
+    for (int i = 0; i < 40; ++i) {
+      futures.push_back(batcher->submit(std::vector<float>(10, 0.1f * i)));
+    }
+    std::thread d1([&] { batcher->drain(); });
+    std::thread d2([&] { batcher->drain(); });
+    d1.join();
+    d2.join();
+    const auto stats = batcher->stats();
+    EXPECT_EQ(stats.requests, 40u) << "round " << round;
+    batcher.reset();  // destructor right on the heels of drain()
+    for (auto& f : futures) (void)f.get();
+  }
 }
 
 TEST(Serve, BatcherEmitsProfilerSpansAndKernelProfile) {
@@ -136,10 +275,9 @@ TEST(Serve, BatcherEmitsProfilerSpansAndKernelProfile) {
   auto engine = make_engine("compiled", model);
   obs::Profiler profiler;
   {
-    BatcherConfig cfg;
-    cfg.max_batch = 8;
-    cfg.max_delay_ms = 0.5;
-    PredictBatcher batcher(*engine, 10, cfg, &profiler);
+    PredictBatcher batcher(
+        *engine, 10,
+        BatcherConfig{}.batch(8).delay_ms(0.5).stats_sink(&profiler));
     std::vector<std::future<std::vector<float>>> futures;
     for (int i = 0; i < 20; ++i) {
       futures.push_back(batcher.submit(std::vector<float>(10, 0.1f * i)));
@@ -218,10 +356,8 @@ TEST(ServeFaults, CompiledEngineFaultsSurfaceThroughBatcherFutures) {
   // batcher must still drain and destruct cleanly under the churn.
   ScopedFaults armed("kernel=predict_compiled;transient=1.0;retries=0;seed=9");
   auto engine = make_engine("compiled", model);
-  BatcherConfig cfg;
-  cfg.max_batch = 8;
-  cfg.max_delay_ms = 0.5;
-  PredictBatcher batcher(*engine, x.n_cols(), cfg);
+  PredictBatcher batcher(*engine, x.n_cols(),
+                         BatcherConfig{}.batch(8).delay_ms(0.5));
 
   std::vector<std::future<std::vector<float>>> futures;
   for (std::size_t i = 0; i < x.n_rows(); ++i) {
@@ -248,14 +384,12 @@ TEST(ServeFaults, BatcherRecordsResilientFallbacksInStats) {
   const auto model = train_model();
   const auto x = nan_batch(24, 10);
   const auto reference = make_engine("reference", model)->predict(x);
-  const auto d = static_cast<std::size_t>(model.n_outputs);
+  const auto d = static_cast<std::size_t>(model->n_outputs);
 
   ScopedFaults armed("kernel=predict_compiled;transient=1.0;retries=0;seed=3");
   auto engine = make_engine("resilient", model);
-  BatcherConfig cfg;
-  cfg.max_batch = 8;
-  cfg.max_delay_ms = 0.5;
-  PredictBatcher batcher(*engine, x.n_cols(), cfg);
+  PredictBatcher batcher(*engine, x.n_cols(),
+                         BatcherConfig{}.batch(8).delay_ms(0.5));
 
   std::vector<std::future<std::vector<float>>> futures;
   for (std::size_t i = 0; i < x.n_rows(); ++i) {

@@ -17,6 +17,7 @@
 #include "data/paper_datasets.h"
 #include "data/synthetic.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 #include "sim/checker.h"
 #include "sim/faults.h"
 #include "sim/scheduler.h"
@@ -337,7 +338,8 @@ int cmd_evaluate(const Args& args, std::ostream& out) {
 }
 
 int cmd_predict(const Args& args, std::ostream& out) {
-  const auto model = core::load_model(args.require("model"));
+  const auto model =
+      std::make_shared<const core::Model>(core::load_model(args.require("model")));
   const auto dataset = load_dataset(args, "data");
   const auto out_path = args.require("out");
   const auto engine_name = args.str("engine", "compiled");
@@ -348,7 +350,7 @@ int cmd_predict(const Args& args, std::ostream& out) {
   const auto scores = engine->predict(dataset.x);
   std::ofstream os(out_path);
   if (!os.good()) throw Error("cannot open " + out_path);
-  const auto d = static_cast<std::size_t>(model.n_outputs);
+  const auto d = static_cast<std::size_t>(model->n_outputs);
   for (std::size_t i = 0; i < dataset.n_instances(); ++i) {
     for (std::size_t k = 0; k < d; ++k) {
       os << scores[i * d + k] << (k + 1 < d ? ',' : '\n');
@@ -363,6 +365,100 @@ int cmd_predict(const Args& args, std::ostream& out) {
         << " (answered by the reference path)\n";
   }
   return 0;
+}
+
+// Multi-tenant serving demo: deploy several named models into a ModelServer,
+// replay the dataset as mixed traffic through every model's batcher, and
+// report per-model SLO stats (p50/p95/p99, rejections, fallbacks).
+int cmd_serve(const Args& args, std::ostream& out) {
+  const auto models_arg = args.require("models");
+  const auto dataset = load_dataset(args, "data");
+  const auto engine_name = args.str("engine", "compiled");
+  const auto batch = static_cast<std::size_t>(args.integer("batch", 32));
+  const auto delay_ms = args.number("delay-ms", 0.5);
+  const auto queue = static_cast<std::size_t>(args.integer("queue", 0));
+  const auto rounds = std::max(1L, args.integer("rounds", 1));
+  if (args.has("sim-faults")) sim::set_sim_faults(args.str("sim-faults"));
+  args.reject_unknown();
+
+  // --models name=path,name=path,... — each model becomes one tenant.
+  std::vector<std::string> names;
+  serve::ModelServer server;
+  std::stringstream specs(models_arg);
+  std::string spec;
+  while (std::getline(specs, spec, ',')) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+      throw Error("bad --models entry (want name=path): " + spec);
+    }
+    const auto name = spec.substr(0, eq);
+    const auto model =
+        std::make_shared<const core::Model>(core::load_model(spec.substr(eq + 1)));
+    if (model->cuts.n_features() != dataset.n_features()) {
+      throw Error("model " + name + " expects " +
+                  std::to_string(model->cuts.n_features()) +
+                  " features, data has " + std::to_string(dataset.n_features()));
+    }
+    server.deploy(name, model,
+                  serve::DeployOptions{}
+                      .engine_name(engine_name)
+                      .batcher_config(serve::BatcherConfig{}
+                                          .batch(batch)
+                                          .delay_ms(delay_ms)
+                                          .queue_limit(queue)));
+    names.push_back(name);
+  }
+  if (names.empty()) throw Error("--models named no models");
+
+  // Mixed traffic: every dataset row goes to every tenant, interleaved.
+  std::vector<std::future<std::vector<float>>> futures;
+  std::uint64_t rejected = 0;
+  for (long r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < dataset.n_instances(); ++i) {
+      const auto row = dataset.x.row(i);
+      for (const auto& name : names) {
+        auto sub = server.submit(name, std::vector<float>(row.begin(), row.end()));
+        if (sub.accepted()) {
+          futures.push_back(std::move(sub.scores));
+        } else {
+          ++rejected;
+        }
+      }
+    }
+  }
+  std::uint64_t failed = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const std::exception&) {
+      ++failed;
+    }
+  }
+  server.drain();
+
+  TextTable table({"model", "ver", "requests", "rejected", "failed", "fallbacks",
+                   "batch", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms",
+                   "modeled ms"});
+  for (const auto& name : names) {
+    const auto s = server.stats(name);
+    table.add_row({s.model, std::to_string(s.live_version),
+                   std::to_string(s.latency.requests),
+                   std::to_string(s.latency.rejected_requests),
+                   std::to_string(s.latency.failed_requests),
+                   std::to_string(s.latency.engine_fallbacks),
+                   TextTable::num(s.latency.mean_batch_size(), 1),
+                   TextTable::num(s.latency.mean_latency_ms(), 3),
+                   TextTable::num(s.latency.p50_ms(), 3),
+                   TextTable::num(s.latency.p95_ms(), 3),
+                   TextTable::num(s.latency.p99_ms(), 3),
+                   TextTable::num(s.latency.max_latency_ms, 3),
+                   TextTable::num(s.modeled_seconds * 1e3, 3)});
+  }
+  out << table.to_string();
+  out << "served " << futures.size() << " requests across " << names.size()
+      << " models (engine " << engine_name << ", " << rejected << " rejected, "
+      << failed << " failed)\n";
+  return failed == 0 ? 0 : 1;
 }
 
 int cmd_importance(const Args& args, std::ostream& out) {
@@ -489,6 +585,10 @@ commands:
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
   predict    --model FILE --data FILE --features N --out FILE
              [--engine compiled|reference|resilient] [--sim-faults SPEC]
+  serve      --models NAME=FILE[,NAME=FILE...] --data FILE --features N
+             [--engine E --batch N --delay-ms F --queue N --rounds N]
+             — multi-tenant demo: replay the data as mixed traffic through
+             every model's batcher, report per-model p50/p95/p99 SLO stats
   importance --model FILE [--top K --by gain|count]
   info       --model FILE
   bench      --dataset NAME [--system NAME] [--device 4090|3090|cpu + train options]
@@ -544,6 +644,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (cmd == "train") return cmd_train(args, out);
     if (cmd == "evaluate") return cmd_evaluate(args, out);
     if (cmd == "predict") return cmd_predict(args, out);
+    if (cmd == "serve") return cmd_serve(args, out);
     if (cmd == "importance") return cmd_importance(args, out);
     if (cmd == "info") return cmd_info(args, out);
     if (cmd == "bench") return cmd_bench(args, out);
