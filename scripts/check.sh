@@ -58,6 +58,19 @@ echo "check: bench_serve_load smoke OK (hot-swap with zero dropped requests)"
 GBMO_FUZZ_NAN_FRAC=0.15 GBMO_FUZZ_ITERS=10 "$build/tests/gbmo_fuzz"
 echo "check: NaN fuzz stage OK (GBMO_FUZZ_NAN_FRAC=0.15)"
 
+# Growth-policy & sampling fuzz stage: a longer differential run so the
+# leaf-wise / max_leaves / EFB / GOSS draws (see draw_case) all land multiple
+# times, each checked for 1-vs-4-thread bitwise equality and scalar-reference
+# agreement. DESIGN.md §11.
+GBMO_FUZZ_ITERS=24 "$build/tests/gbmo_fuzz"
+echo "check: growth/sampling fuzz stage OK (leaf-wise + EFB + GOSS draws)"
+
+# Bin-sweep bench smoke at reduced scale: exits non-zero unless leaf-wise
+# models >= level-wise seconds at an equal leaf budget on the dense workload
+# and EFB cuts histogram-phase time >= 2x vs the dense scan on the sparse one.
+"$build/bench/bench_bins" 2
+echo "check: bench_bins smoke OK (growth-policy + EFB acceptance shapes)"
+
 # Optional ThreadSanitizer stage for the parallel block scheduler and thread
 # pool (GBMO_CHECK_TSAN=0 skips; also skipped when the toolchain can't link
 # -fsanitize=thread, e.g. missing libtsan).

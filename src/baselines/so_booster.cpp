@@ -19,242 +19,7 @@ constexpr double kLgbSyncPerSplit = 3e-4;  // host<->device round trip + dispatc
 
 // LightGBM's default num_leaves (the paper fixes depth=7 and otherwise uses
 // recommended defaults, §4.1).
-constexpr std::size_t kLgbNumLeaves = 31;
-
-// Leaf-wise grower for the LightGBM-like baseline (single-output trees).
-// Grows the highest-gain leaf first until 2^max_depth leaves (or no valid
-// split remains); the larger child's histogram comes from parent-minus-
-// smaller subtraction like LightGBM's own implementation.
-class LeafwiseGrower {
- public:
-  LeafwiseGrower(sim::DeviceGroup& group, const core::GrowerContext& ctx)
-      : group_(group), ctx_(ctx), builder_(core::make_builder(ctx.config.hist_method)) {
-    all_features_.resize(ctx.bins->n_cols());
-    std::iota(all_features_.begin(), all_features_.end(), 0u);
-  }
-
-  core::GrownTree grow(std::span<const float> g, std::span<const float> h) {
-    const std::size_t n = ctx_.bins->n_rows();
-    const auto& cfg = ctx_.config;
-    core::GrownTree out;
-    out.tree = core::Tree(1);
-    out.leaf_of_row.assign(n, -1);
-    core::Tree& tree = out.tree;
-
-    std::vector<std::uint32_t> row_order(n);
-    std::iota(row_order.begin(), row_order.end(), 0u);
-    tree.add_root(static_cast<std::uint32_t>(n));
-
-    struct Candidate {
-      std::int32_t tree_node;
-      std::uint32_t begin, end;
-      int depth;
-      std::vector<sim::GradPair> totals;
-      core::NodeHistogram hist;
-      core::SplitResult split;
-    };
-
-    auto make_candidate = [&](std::int32_t node, std::uint32_t begin,
-                              std::uint32_t end, int depth,
-                              std::vector<sim::GradPair> totals,
-                              core::NodeHistogram hist) {
-      Candidate c;
-      c.tree_node = node;
-      c.begin = begin;
-      c.end = end;
-      c.depth = depth;
-      c.totals = std::move(totals);
-      c.hist = std::move(hist);
-      group_.set_phase("split");
-      c.split = core::find_best_split(group_.device(0), ctx_.layout, c.hist,
-                                      c.totals, end - begin, all_features_, cfg,
-                                      scratch_);
-      // Host-side split finding: the histogram crosses PCIe first.
-      group_.set_phase("transfer");
-      auto& dev = group_.device(0);
-      dev.add_modeled_time(
-          static_cast<double>(ctx_.layout.byte_size()) / dev.spec().pcie_bandwidth +
-          kLgbSyncPerSplit);
-      return c;
-    };
-
-    auto build_hist = [&](std::span<const std::uint32_t> rows,
-                          std::span<const sim::GradPair> totals) {
-      group_.set_phase("histogram");
-      core::NodeHistogram hist;
-      hist.resize(ctx_.layout);
-      core::HistBuildInput in;
-      in.bins = ctx_.bins;
-      in.node_rows = rows;
-      in.g = g;
-      in.h = h;
-      in.layout = &ctx_.layout;
-      in.features = all_features_;
-      in.packed = false;
-      in.sparsity_aware = cfg.sparsity_aware;
-      in.node_totals = totals;
-      in.node_count = static_cast<std::uint32_t>(rows.size());
-      builder_->build(group_.device(0), in, hist);
-      return hist;
-    };
-
-    auto finalize_leaf = [&](const Candidate& c) {
-      std::vector<float> value(1);
-      value[0] = -cfg.learning_rate * c.totals[0].g / (c.totals[0].h + cfg.lambda_l2);
-      tree.set_leaf(c.tree_node, value);
-      for (std::uint32_t i = c.begin; i < c.end; ++i) {
-        out.leaf_of_row[row_order[i]] = c.tree_node;
-      }
-    };
-
-    // Root candidate.
-    std::vector<sim::GradPair> root_totals(1);
-    group_.set_phase("histogram");
-    core::reduce_gradients(group_.device(0), g, h, row_order, 1, root_totals);
-    std::vector<Candidate> candidates;
-    if (cfg.max_depth > 0 &&
-        n >= 2 * static_cast<std::size_t>(cfg.min_instances_per_node)) {
-      candidates.push_back(make_candidate(0, 0, static_cast<std::uint32_t>(n), 0,
-                                          root_totals,
-                                          build_hist(row_order, root_totals)));
-    } else {
-      Candidate c;
-      c.tree_node = 0;
-      c.begin = 0;
-      c.end = static_cast<std::uint32_t>(n);
-      c.totals = root_totals;
-      finalize_leaf(c);
-      return out;
-    }
-
-    const std::size_t max_leaves =
-        std::min(kLgbNumLeaves, std::size_t{1} << cfg.max_depth);
-    std::size_t n_leaves = 1;
-
-    while (!candidates.empty()) {
-      // Highest-gain candidate first (LightGBM's best-first policy).
-      std::size_t best = 0;
-      for (std::size_t i = 1; i < candidates.size(); ++i) {
-        const float gi = candidates[i].split.valid() ? candidates[i].split.gain : -1.0f;
-        const float gb = candidates[best].split.valid() ? candidates[best].split.gain : -1.0f;
-        if (gi > gb) best = i;
-      }
-      Candidate cand = std::move(candidates[best]);
-      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(best));
-
-      if (!cand.split.valid() || n_leaves >= max_leaves) {
-        finalize_leaf(cand);
-        continue;
-      }
-
-      group_.set_phase("partition");
-      const auto& s = cand.split;
-      const auto col = ctx_.bins->col(static_cast<std::size_t>(s.feature));
-      const auto split_bin = static_cast<std::uint8_t>(s.bin);
-      const auto begin_it = row_order.begin() + cand.begin;
-      const auto end_it = row_order.begin() + cand.end;
-      const auto mid_it = std::stable_partition(
-          begin_it, end_it, [&](std::uint32_t r) { return col[r] <= split_bin; });
-      const std::uint32_t mid =
-          cand.begin + static_cast<std::uint32_t>(mid_it - begin_it);
-      {
-        sim::KernelStats ps;
-        ps.blocks = std::max<std::uint64_t>(1, (cand.end - cand.begin) / 256);
-        ps.gmem_random_accesses = cand.end - cand.begin;
-        ps.gmem_coalesced_bytes =
-            static_cast<std::uint64_t>(cand.end - cand.begin) * 2 * sizeof(std::uint32_t);
-        auto& dev = group_.device(0);
-        dev.add_stats(ps);
-        dev.add_modeled_time(sim::CostModel(dev.spec()).kernel_seconds(ps));
-      }
-
-      const auto [left_id, right_id] = tree.split_node(
-          cand.tree_node, s.feature, s.bin,
-          ctx_.cuts->threshold_for(static_cast<std::size_t>(s.feature), s.bin),
-          s.gain, s.n_left, s.n_right, cand.depth + 1);
-      ++n_leaves;
-
-      const bool left_smaller = s.n_left <= s.n_right;
-      const std::uint32_t sm_begin = left_smaller ? cand.begin : mid;
-      const std::uint32_t sm_end = left_smaller ? mid : cand.end;
-      const std::uint32_t lg_begin = left_smaller ? mid : cand.begin;
-      const std::uint32_t lg_end = left_smaller ? cand.end : mid;
-      const std::int32_t sm_node = left_smaller ? left_id : right_id;
-      const std::int32_t lg_node = left_smaller ? right_id : left_id;
-
-      group_.set_phase("histogram");
-      std::vector<sim::GradPair> sm_totals(1);
-      const auto sm_rows = std::span<const std::uint32_t>(row_order).subspan(
-          sm_begin, sm_end - sm_begin);
-      core::reduce_gradients(group_.device(0), g, h, sm_rows, 1, sm_totals);
-      std::vector<sim::GradPair> lg_totals(1);
-      lg_totals[0] = {cand.totals[0].g - sm_totals[0].g,
-                      cand.totals[0].h - sm_totals[0].h};
-
-      auto route = [&](std::int32_t node, std::uint32_t b, std::uint32_t e,
-                       std::vector<sim::GradPair> totals, bool smaller,
-                       const core::NodeHistogram* sibling_hist) {
-        Candidate c;
-        c.tree_node = node;
-        c.begin = b;
-        c.end = e;
-        c.depth = cand.depth + 1;
-        c.totals = std::move(totals);
-        if (c.depth >= cfg.max_depth ||
-            e - b < 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node)) {
-          finalize_leaf(c);
-          return;
-        }
-        const auto rows =
-            std::span<const std::uint32_t>(row_order).subspan(b, e - b);
-        core::NodeHistogram hist;
-        if (smaller || sibling_hist == nullptr) {
-          hist = build_hist(rows, c.totals);
-        } else {
-          hist.resize(ctx_.layout);
-          core::subtract_histograms(group_.device(0), ctx_.layout, all_features_,
-                                    cand.hist, *sibling_hist, hist);
-        }
-        candidates.push_back(make_candidate(node, b, e, c.depth,
-                                            std::move(c.totals), std::move(hist)));
-      };
-
-      // Smaller child first so the larger one can subtract from it.
-      core::NodeHistogram sm_hist_copy;
-      {
-        const auto rows = std::span<const std::uint32_t>(row_order).subspan(
-            sm_begin, sm_end - sm_begin);
-        const bool sm_is_leaf =
-            cand.depth + 1 >= cfg.max_depth ||
-            sm_end - sm_begin < 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node);
-        if (!sm_is_leaf) sm_hist_copy = build_hist(rows, sm_totals);
-        Candidate c;
-        c.tree_node = sm_node;
-        c.begin = sm_begin;
-        c.end = sm_end;
-        c.depth = cand.depth + 1;
-        c.totals = sm_totals;
-        if (sm_is_leaf) {
-          finalize_leaf(c);
-        } else {
-          core::NodeHistogram hist_for_cand = sm_hist_copy;  // keep for sibling
-          candidates.push_back(make_candidate(sm_node, sm_begin, sm_end, c.depth,
-                                              sm_totals, std::move(hist_for_cand)));
-        }
-      }
-      route(lg_node, lg_begin, lg_end, std::move(lg_totals), /*smaller=*/false,
-            sm_hist_copy.sums.empty() ? nullptr : &sm_hist_copy);
-    }
-    return out;
-  }
-
- private:
-  sim::DeviceGroup& group_;
-  const core::GrowerContext& ctx_;
-  std::unique_ptr<core::HistogramBuilder> builder_;
-  core::SplitScratch scratch_;
-  std::vector<std::uint32_t> all_features_;
-};
+constexpr int kLgbNumLeaves = 31;
 
 }  // namespace
 
@@ -302,10 +67,20 @@ void SoBooster::fit(const data::Dataset& train) {
   // Single-output growers share one layout (n_outputs = 1). Multi-device
   // training splits classes across devices (the natural parallelism for d
   // independent ensembles) — approximated by dividing per-class work.
+  // The XGBoost-like baseline grows level-wise; the LightGBM-like one uses
+  // the core grower's leaf-wise policy with num_leaves = 31 (its default).
   core::TrainConfig grow_cfg = config_;
   grow_cfg.n_devices = 1;
+  grow_cfg.growth = core::GrowthPolicy::kLevelWise;
   core::GrowerContext ctx =
       core::GrowerContext::create(binned, cuts, 1, grow_cfg);
+  core::TrainConfig lgb_cfg = grow_cfg;
+  lgb_cfg.growth = core::GrowthPolicy::kLeafWise;
+  lgb_cfg.max_leaves = config_.max_depth < 30
+                           ? std::min(kLgbNumLeaves, 1 << config_.max_depth)
+                           : kLgbNumLeaves;
+  core::GrowerContext lgb_ctx =
+      core::GrowerContext::create(binned, cuts, 1, lgb_cfg);
   sim::DeviceGroup solo(spec_, 1, link_);
   solo.set_sink(sink_);
 
@@ -318,7 +93,7 @@ void SoBooster::fit(const data::Dataset& train) {
   trees_.assign(static_cast<std::size_t>(d), {});
 
   core::TreeGrower level_grower(solo, ctx);
-  LeafwiseGrower leaf_grower(solo, ctx);
+  core::TreeGrower leaf_grower(solo, lgb_ctx);
 
   double prev_total = solo.device(0).modeled_seconds();
   report_.setup_seconds = group.max_modeled_seconds();
@@ -347,6 +122,21 @@ void SoBooster::fit(const data::Dataset& train) {
       core::GrownTree grown = variant_ == SoVariant::kXgbLike
                                   ? level_grower.grow(gk, hk)
                                   : leaf_grower.grow(gk, hk);
+      if (variant_ == SoVariant::kLgbLike) {
+        // LightGBM's GPU design keeps split finding on the host: each split
+        // ships the two fresh child histograms over PCIe and synchronizes the
+        // host/device pipelines (plus one round for the root histogram).
+        solo.set_phase("transfer");
+        auto& dev = solo.device(0);
+        const auto n_splits =
+            static_cast<double>(grown.tree.n_leaves() > 0
+                                    ? grown.tree.n_leaves() - 1
+                                    : 0);
+        dev.add_modeled_time(
+            (2.0 * n_splits + 1.0) * static_cast<double>(ctx.layout.byte_size()) /
+                dev.spec().pcie_bandwidth +
+            (n_splits + 1.0) * kLgbSyncPerSplit);
+      }
 
       // Update output k of the scores from the training-time leaf map.
       solo.set_phase("update");

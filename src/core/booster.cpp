@@ -6,8 +6,10 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/goss.h"
 #include "core/gradients.h"
 #include "core/model_io.h"
+#include "data/bundling.h"
 #include "sim/cost_model.h"
 #include "sim/faults.h"
 #include "sim/launch.h"
@@ -98,7 +100,11 @@ double TrainReport::histogram_fraction() const {
 
 GbmoBooster::GbmoBooster(TrainConfig config, sim::DeviceSpec spec,
                          sim::LinkSpec link)
-    : config_(config), spec_(std::move(spec)), link_(link) {}
+    : config_(config), spec_(std::move(spec)), link_(link) {
+  // Fail fast on nonsensical knobs (bad bin counts, GOSS fractions, ...)
+  // instead of asserting deep inside quantization or the grower.
+  validate_train_config(config_);
+}
 
 Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
                        const data::Dataset* valid) {
@@ -171,6 +177,43 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
 
   GrowerContext ctx = GrowerContext::create(binned, cuts, d, config_);
   ctx.csc = csc.get();
+
+  // Exclusive feature bundling (§EFB, DESIGN.md §11): plan once at setup,
+  // materialize the bundled bin matrix, and hand both to the grower. The CSC
+  // level sweep already touches only stored nonzeros, so bundling adds
+  // nothing there (sweep wins precedence); an all-dense dataset yields no
+  // merges and bundling stays off.
+  std::unique_ptr<data::FeatureBundling> bundling;
+  std::unique_ptr<data::BinnedMatrix> bundled;
+  if (config_.efb && !config_.csc_level_sweep) {
+    sim::TraceSpan efb_span(group, "efb_setup");
+    auto plan = data::FeatureBundling::plan(binned, cuts);
+    if (plan.n_merged() > 0) {
+      bundling = std::make_unique<data::FeatureBundling>(std::move(plan));
+      bundled = std::make_unique<data::BinnedMatrix>(
+          data::build_bundled_matrix(binned, cuts, *bundling));
+      // One scatter pass over the bin matrix builds the bundled columns,
+      // which then travel to every device alongside the original bins.
+      const std::uint64_t bundled_bytes = bundled->byte_size();
+      for (int i = 0; i < group.size(); ++i) {
+        auto& dev = group.device(i);
+        sim::KernelStats s;
+        s.blocks = std::max<std::uint64_t>(1, n / 256);
+        s.gmem_coalesced_bytes =
+            static_cast<std::uint64_t>(n) * train.n_features() + bundled_bytes;
+        sim::charge_kernel(dev, "efb_bundle", s);
+        {
+          sim::KernelTag tag(dev, "h2d_transfer");
+          dev.add_modeled_time(static_cast<double>(bundled_bytes) /
+                               static_cast<double>(group.size()) /
+                               dev.spec().pcie_bandwidth);
+        }
+        dev.note_alloc(static_cast<std::size_t>(bundled_bytes) /
+                       static_cast<std::size_t>(group.size()));
+      }
+      ctx.apply_bundling(*bundling, *bundled);
+    }
+  }
   TreeGrower grower(group, ctx);
 
   std::unique_ptr<Loss> default_loss;
@@ -266,9 +309,30 @@ Model GbmoBooster::fit(const data::Dataset& train, const Loss* loss_override,
           }
         }
 
-        // Row / feature sampling for this tree (stochastic boosting).
+        // Row / feature sampling for this tree. GOSS (core/goss.h) replaces
+        // uniform subsampling when enabled (validation enforces the mutual
+        // exclusion): it amplifies the sampled small-gradient rows' g/h in
+        // place, so it must run after the gradient pass — and a failover
+        // retry recomputes gradients first, so the amplification is never
+        // applied twice.
         sampled_rows.clear();
-        if (config_.subsample < 1.0) {
+        if (config_.goss_a > 0.0 || config_.goss_b > 0.0) {
+          GossResult goss;
+          bool selected = false;
+          for (int i = 0; i < group.size(); ++i) {
+            if (group.is_lost(i)) continue;
+            if (!selected) {
+              goss = goss_select(group.device(i), g, h, n, d, config_.goss_a,
+                                 config_.goss_b, sampler);
+              selected = true;
+            } else {
+              // g/h are replicated per device (see the gradient pass above):
+              // replicas charge the same kernels to keep phase clocks aligned.
+              goss_charge_replica(group.device(i), n, d, goss);
+            }
+          }
+          sampled_rows = std::move(goss.rows);
+        } else if (config_.subsample < 1.0) {
           for (std::uint32_t r = 0; r < n; ++r) {
             if (sampler.bernoulli(config_.subsample)) sampled_rows.push_back(r);
           }

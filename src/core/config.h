@@ -22,6 +22,13 @@ enum class MultiGpuMode : std::uint8_t {
   kDataParallel,     // rows partitioned, histograms all-reduced
 };
 
+enum class GrowthPolicy : std::uint8_t {
+  kLevelWise,  // Algorithm 1: all splittable nodes of a level at once
+  kLeafWise,   // best-first: always split the highest-gain frontier leaf
+};
+
+const char* growth_policy_name(GrowthPolicy p);
+
 struct TrainConfig {
   int n_trees = 100;
   int max_depth = 7;               // number of split levels below the root
@@ -43,6 +50,36 @@ struct TrainConfig {
                                    // feature-parallel modes)
   bool sibling_subtraction = true; // build smaller child, derive larger one
   double segments_per_block_c = 4.0;  // C in the adaptive segment mapping (§3.1.3)
+
+  // Tree growth policy. Level-wise is the paper's Algorithm 1; leaf-wise is
+  // LightGBM's best-first policy: repeatedly split the frontier leaf with
+  // the highest gain (deterministic tie-break on the lowest node id).
+  GrowthPolicy growth = GrowthPolicy::kLevelWise;
+  // Leaf budget per tree (0 = unbounded, i.e. limited by max_depth alone).
+  // Applies to both policies: leaf-wise stops splitting at the budget;
+  // level-wise keeps only the top-gain splits of each level once the budget
+  // is reached, so equal-budget comparisons are honest.
+  int max_leaves = 0;
+
+  // Exclusive feature bundling (LightGBM's EFB): mutually-exclusive sparse
+  // features share one bundled histogram column, shrinking histogram work.
+  // Bundles exist only inside histogram construction — splits, trees and
+  // predictions always see original feature ids. Ignored when
+  // csc_level_sweep is on (that path is already nnz-proportional) or when
+  // no features can be merged.
+  bool efb = false;
+
+  // Gradient-based one-side sampling (GOSS): keep the goss_a fraction of
+  // rows with the largest gradient norms, sample a goss_b fraction of the
+  // rest, and amplify the sampled small-gradient rows by (1-a)/b. Enabled
+  // iff both fractions are > 0; mutually exclusive with subsample < 1.
+  double goss_a = 0.0;
+  double goss_b = 0.0;
+
+  // Histogram pool budget in MiB (the grower's subtraction cache). When a
+  // level / frontier would exceed it, the grower falls back to building one
+  // node at a time in a scratch buffer (Figure 7's OOM-avoidance mechanism).
+  int hist_budget_mb = 512;
 
   int n_devices = 1;
   MultiGpuMode multi_gpu = MultiGpuMode::kFeatureParallel;
@@ -107,6 +144,15 @@ struct TrainConfig {
   TrainConfig& sparse_aware(bool on = true) { sparsity_aware = on; return *this; }
   TrainConfig& csc_sweep(bool on = true) { csc_level_sweep = on; return *this; }
   TrainConfig& subtraction(bool on = true) { sibling_subtraction = on; return *this; }
+  TrainConfig& growth_policy(GrowthPolicy p) { growth = p; return *this; }
+  TrainConfig& leaves(int n) { max_leaves = n; return *this; }
+  TrainConfig& feature_bundling(bool on = true) { efb = on; return *this; }
+  TrainConfig& goss(double a, double b) {
+    goss_a = a;
+    goss_b = b;
+    return *this;
+  }
+  TrainConfig& hist_budget(int mb) { hist_budget_mb = mb; return *this; }
   TrainConfig& devices(int n, MultiGpuMode mode = MultiGpuMode::kFeatureParallel) {
     n_devices = n;
     multi_gpu = mode;
@@ -138,5 +184,11 @@ struct TrainConfig {
     return *this;
   }
 };
+
+// Validates user-facing fields (bin budget, tree shape, sampling fractions,
+// pool budget) and throws gbmo::Error with an actionable message on the
+// first violation. Called at GbmoBooster construction so a bad config fails
+// before any training work instead of asserting deep inside BinCuts::build.
+void validate_train_config(const TrainConfig& config);
 
 }  // namespace gbmo::core

@@ -1,0 +1,117 @@
+#include "core/goss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "sim/cost_model.h"
+
+namespace gbmo::core {
+
+namespace {
+
+// The three modeled kernels; stats depend only on (n, d, selection counts),
+// so replica devices can charge identical costs without redoing the work.
+void charge_goss_kernels(sim::Device& dev, std::size_t n, int d,
+                         std::uint32_t n_amplified) {
+  const auto nd = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(d);
+  {
+    // Per-row L1 norm over d gradient components: coalesced g reads, one
+    // norm write per row.
+    sim::KernelStats s;
+    s.blocks = std::max<std::uint64_t>(1, n / 256);
+    s.gmem_coalesced_bytes = nd * sizeof(float) + n * sizeof(float);
+    s.flops = nd * 2;
+    sim::charge_kernel(dev, "goss_grad_norms", s);
+  }
+  {
+    // Device-side top-k: modeled as a radix sort of (norm, row) pairs plus
+    // the threshold scan.
+    const auto logn = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(std::log2(static_cast<double>(std::max<std::size_t>(n, 2))))));
+    sim::KernelStats s;
+    s.blocks = std::max<std::uint64_t>(1, n / 256);
+    s.gmem_coalesced_bytes = static_cast<std::uint64_t>(n) * 8 * 2;
+    s.flops = static_cast<std::uint64_t>(n) * logn;
+    sim::charge_kernel(dev, "goss_topk", s);
+  }
+  {
+    // Amplify the sampled small-gradient rows in place: scattered row
+    // gathers, 2·d multiplies per row.
+    sim::KernelStats s;
+    s.blocks = std::max<std::uint64_t>(1, n_amplified / 256u);
+    s.gmem_random_accesses = n_amplified;
+    s.gmem_coalesced_bytes = static_cast<std::uint64_t>(n_amplified) *
+                             static_cast<std::uint64_t>(d) * 4 * sizeof(float);
+    s.flops = static_cast<std::uint64_t>(n_amplified) *
+              static_cast<std::uint64_t>(d) * 2;
+    sim::charge_kernel(dev, "goss_amplify", s);
+  }
+}
+
+}  // namespace
+
+GossResult goss_select(sim::Device& dev, std::span<float> g, std::span<float> h,
+                       std::size_t n, int d, double a, double b, Rng& rng) {
+  GBMO_CHECK(n >= 1 && d >= 1);
+  GBMO_CHECK(g.size() == n * static_cast<std::size_t>(d) && h.size() == g.size());
+  GBMO_CHECK(a > 0.0 && a < 1.0 && b > 0.0 && b <= 1.0);
+
+  // Per-row L1 gradient norm (the multi-output generalization of |g_i|).
+  std::vector<float> norms(n, 0.0f);
+  for (std::size_t r = 0; r < n; ++r) {
+    float acc = 0.0f;
+    const std::size_t off = r * static_cast<std::size_t>(d);
+    for (int k = 0; k < d; ++k) {
+      acc += std::fabs(g[off + static_cast<std::size_t>(k)]);
+    }
+    norms[r] = acc;
+  }
+
+  // Deterministic top a·n: norm descending, row id ascending on ties.
+  const auto n_top = static_cast<std::size_t>(
+      std::max<std::size_t>(1, static_cast<std::size_t>(a * static_cast<double>(n))));
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    if (norms[x] != norms[y]) return norms[x] > norms[y];
+    return x < y;
+  });
+
+  std::vector<bool> is_top(n, false);
+  for (std::size_t i = 0; i < n_top && i < n; ++i) is_top[order[i]] = true;
+
+  // Small-gradient side: bernoulli(b/(1-a)) per remaining row, drawn in
+  // ascending row order so the consumed RNG stream is schedule-independent.
+  const double p = std::min(1.0, b / (1.0 - a));
+  const auto factor = static_cast<float>((1.0 - a) / b);
+  GossResult out;
+  out.rows.reserve(n);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (is_top[r]) {
+      out.rows.push_back(r);
+      ++out.n_top;
+      continue;
+    }
+    if (rng.bernoulli(p)) {
+      out.rows.push_back(r);
+      ++out.n_amplified;
+      const std::size_t off = static_cast<std::size_t>(r) * static_cast<std::size_t>(d);
+      for (int k = 0; k < d; ++k) {
+        g[off + static_cast<std::size_t>(k)] *= factor;
+        h[off + static_cast<std::size_t>(k)] *= factor;
+      }
+    }
+  }
+
+  charge_goss_kernels(dev, n, d, out.n_amplified);
+  return out;
+}
+
+void goss_charge_replica(sim::Device& dev, std::size_t n, int d,
+                         const GossResult& result) {
+  charge_goss_kernels(dev, n, d, result.n_amplified);
+}
+
+}  // namespace gbmo::core

@@ -1,0 +1,46 @@
+// Gradient-based one-side sampling (LightGBM's GOSS) on the sim substrate.
+//
+// Per tree: rank rows by the L1 norm of their multi-output gradient vector,
+// keep the top a·n deterministically (tie-break on the lower row id), sample
+// each remaining row with probability b/(1-a), and amplify the sampled
+// small-gradient rows' g and h in place by the standard factor (1-a)/b so
+// the split gains stay unbiased estimates of the full-data gains.
+//
+// The selection runs host-side in a fixed order (like the grower's row
+// partition) and is charged to the cost model as three kernels — gradient
+// norms, top-k selection, amplification — so the modeled-seconds win of
+// training on a·n + b·n rows is honest. The bernoulli draws consume the
+// booster's sampler RNG in ascending row order, which keeps the procedure
+// bitwise-deterministic at any --sim-threads and across checkpoint resume
+// (the sampler state is checkpointed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/device.h"
+
+namespace gbmo::core {
+
+struct GossResult {
+  std::vector<std::uint32_t> rows;  // selected row ids, ascending
+  std::uint32_t n_top = 0;          // large-gradient rows kept outright
+  std::uint32_t n_amplified = 0;    // small-gradient rows sampled + amplified
+};
+
+// Selects this tree's rows and amplifies the small-gradient picks in place
+// (both g and h). `n` rows of `d` outputs; g/h are [row * d + k]. Kernel
+// costs are charged to `dev`.
+GossResult goss_select(sim::Device& dev, std::span<float> g,
+                       std::span<float> h, std::size_t n, int d, double a,
+                       double b, Rng& rng);
+
+// Charges the same three kernels on a replica device without touching data —
+// feature-parallel training replicates g/h per device (amplification included)
+// and the phase clocks must advance in lockstep, mirroring compute_gradients.
+void goss_charge_replica(sim::Device& dev, std::size_t n, int d,
+                         const GossResult& result);
+
+}  // namespace gbmo::core

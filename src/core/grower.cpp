@@ -18,6 +18,9 @@ GrowerContext GrowerContext::create(const data::BinnedMatrix& bins,
   ctx.cuts = &cuts;
   ctx.layout = HistogramLayout(cuts, n_outputs);
   ctx.config = config;
+  ctx.hist_pool_budget = static_cast<std::size_t>(
+                             std::max(1, config.hist_budget_mb))
+                         << 20;
 
   const int k = std::max(1, config.n_devices);
   const std::size_t m = bins.n_cols();
@@ -43,17 +46,66 @@ GrowerContext GrowerContext::create(const data::BinnedMatrix& bins,
   return ctx;
 }
 
+void GrowerContext::apply_bundling(const data::FeatureBundling& plan,
+                                   const data::BinnedMatrix& bundled) {
+  GBMO_CHECK(bins != nullptr) << "apply_bundling before create";
+  GBMO_CHECK(plan.bundle_of_feature.size() == bins->n_cols());
+  GBMO_CHECK(bundled.n_rows() == bins->n_rows());
+  bundling = &plan;
+  bundled_bins = &bundled;
+
+  std::vector<int> bin_counts;
+  std::vector<std::uint8_t> zeros;
+  bin_counts.reserve(plan.bundles.size());
+  zeros.reserve(plan.bundles.size());
+  for (const data::FeatureBundle& b : plan.bundles) {
+    bin_counts.push_back(b.n_bins);
+    zeros.push_back(0);  // bundled bin 0 = all members at their default
+  }
+  bundle_layout = HistogramLayout(bin_counts, zeros, layout.n_outputs());
+
+  // Repartition the device columns bundle-aligned: the device that owns a
+  // bundled histogram column must also own all its member features, so the
+  // expanded histogram slots it writes are exactly the slots it would have
+  // owned without bundling.
+  const std::size_t k = device_features.size();
+  const std::size_t nb = plan.bundles.size();
+  device_bundles.assign(k, {});
+  for (auto& df : device_features) df.clear();
+  const std::size_t chunk = (nb + k - 1) / k;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t lo = i * chunk;
+    const std::size_t hi = std::min(nb, lo + chunk);
+    for (std::size_t bi = lo; bi < hi; ++bi) {
+      device_bundles[i].push_back(static_cast<std::uint32_t>(bi));
+      for (std::uint32_t f : plan.bundles[bi].features) {
+        device_features[i].push_back(f);
+      }
+    }
+    std::sort(device_features[i].begin(), device_features[i].end());
+  }
+}
+
 TreeGrower::TreeGrower(sim::DeviceGroup& group, const GrowerContext& ctx)
     : group_(group), ctx_(ctx), builder_(make_builder(ctx.config.hist_method)) {
   GBMO_CHECK(group.size() == std::max(1, ctx.config.n_devices));
   all_features_.resize(ctx.bins->n_cols());
   std::iota(all_features_.begin(), all_features_.end(), 0u);
   device_features_ = ctx.device_features;
+  device_bundles_ = ctx.device_bundles;
 }
 
 sim::Device& TreeGrower::charge_device() {
   const int fa = group_.first_alive();
   return group_.device(fa < 0 ? 0 : fa);
+}
+
+void TreeGrower::note_alloc_all(std::size_t bytes) {
+  for (int i = 0; i < group_.size(); ++i) group_.device(i).note_alloc(bytes);
+}
+
+void TreeGrower::note_free_all(std::size_t bytes) {
+  for (int i = 0; i < group_.size(); ++i) group_.device(i).note_free(bytes);
 }
 
 void TreeGrower::redistribute_over_alive() {
@@ -62,8 +114,29 @@ void TreeGrower::redistribute_over_alive() {
     if (!group_.is_lost(i)) alive.push_back(i);
   }
   GBMO_CHECK(!alive.empty()) << "feature-parallel failover with no survivors";
-  const std::size_t m = ctx_.bins->n_cols();
   for (auto& df : device_features_) df.clear();
+  if (ctx_.bundling != nullptr) {
+    // Bundle-aligned repartition over the survivors (same rule as
+    // GrowerContext::apply_bundling).
+    const std::size_t nb = ctx_.bundling->bundles.size();
+    for (auto& db : device_bundles_) db.clear();
+    const std::size_t chunk = (nb + alive.size() - 1) / alive.size();
+    for (std::size_t a = 0; a < alive.size(); ++a) {
+      const std::size_t lo = a * chunk;
+      const std::size_t hi = std::min(nb, lo + chunk);
+      auto& db = device_bundles_[static_cast<std::size_t>(alive[a])];
+      auto& df = device_features_[static_cast<std::size_t>(alive[a])];
+      for (std::size_t bi = lo; bi < hi; ++bi) {
+        db.push_back(static_cast<std::uint32_t>(bi));
+        for (std::uint32_t f : ctx_.bundling->bundles[bi].features) {
+          df.push_back(f);
+        }
+      }
+      std::sort(df.begin(), df.end());
+    }
+    return;
+  }
+  const std::size_t m = ctx_.bins->n_cols();
   // Same contiguous-chunk rule as GrowerContext::create, over the survivors.
   const std::size_t chunk = (m + alive.size() - 1) / alive.size();
   for (std::size_t a = 0; a < alive.size(); ++a) {
@@ -79,6 +152,10 @@ void TreeGrower::redistribute_over_alive() {
 void TreeGrower::build_node_histogram(const ActiveNode& node, NodeHistogram& out,
                                       std::span<const float> g,
                                       std::span<const float> h) {
+  if (ctx_.bundling != nullptr) {
+    build_node_histogram_bundled(node, out, g, h);
+    return;
+  }
   const auto& cfg = ctx_.config;
   // Row span of this node in the (grow-local) row order is provided via the
   // totals/slice captured below by the caller; histogram input row list is
@@ -135,6 +212,96 @@ void TreeGrower::build_node_histogram(const ActiveNode& node, NodeHistogram& out
                      ctx_.layout.n_outputs(), dev_totals);
     dev_in.node_totals = dev_totals;
     builder_->build(group_.device(i), dev_in, part);
+    sum_spans.push_back(
+        {reinterpret_cast<float*>(part.sums.data()), part.sums.size() * 2});
+  }
+  group_.all_reduce_sum(sum_spans);
+  std::vector<std::span<std::uint32_t>> count_spans;
+  count_spans.reserve(static_cast<std::size_t>(k));
+  for (auto& part : partials) count_spans.push_back(part.counts);
+  group_.all_reduce_sum_u32(count_spans);
+  out.sums = std::move(partials[0].sums);
+  out.counts = std::move(partials[0].counts);
+}
+
+void TreeGrower::build_node_histogram_bundled(const ActiveNode& node,
+                                              NodeHistogram& out,
+                                              std::span<const float> g,
+                                              std::span<const float> h) {
+  const auto& cfg = ctx_.config;
+  HistBuildInput in;
+  in.bins = ctx_.bundled_bins;
+  in.g = g;
+  in.h = h;
+  in.layout = &ctx_.bundle_layout;
+  // The bundled matrix is a plain dense column-major array; warp packing and
+  // CSC indirection describe the original storage, not this one.
+  in.packed = false;
+  // Bundled bin 0 (zero_bin of every bundle) is the shared all-default bin:
+  // skipping it is exactly the §3.2 sparsity optimization, and the per-member
+  // zero bins are reconstructed from the node totals during expansion.
+  in.sparsity_aware = true;
+  in.csc_indirection = false;
+  in.node_totals = node.totals;
+  in.node_count = node.count();
+  in.node_rows = node_rows_;
+
+  if (bundle_scratch_.sums.size() != ctx_.bundle_layout.size()) {
+    bundle_scratch_.resize(ctx_.bundle_layout);
+  }
+
+  if (group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kFeatureParallel) {
+    // Feature-parallel: each device accumulates its bundle columns into
+    // disjoint slots of the shared bundled scratch, then expands them into
+    // the original-layout slots it owns (bundle-aligned partitioning
+    // guarantees those are disjoint too).
+    bundle_scratch_.clear();
+    for (int i = 0; i < group_.size(); ++i) {
+      const auto& bundles = grow_device_bundles_[static_cast<std::size_t>(i)];
+      if (bundles.empty()) continue;
+      HistBuildInput dev_in = in;
+      dev_in.features = bundles;
+      builder_->build(group_.device(i), dev_in, bundle_scratch_);
+      expand_bundled_histogram(group_.device(i), *ctx_.bundling,
+                               ctx_.bundle_layout, ctx_.layout, bundles,
+                               bundle_scratch_, node.totals, node.count(), out);
+    }
+    return;
+  }
+
+  // Data-parallel: each device builds a bundled partial from its own rows,
+  // expands it locally (per-device totals drive the zero-bin reconstruction;
+  // the per-device reconstructions sum to the global one), and the expanded
+  // original-layout partials are summed with the same ring all-reduce as the
+  // unbundled path — only the accumulation got cheaper.
+  const int k = group_.size();
+  const int d = ctx_.layout.n_outputs();
+  std::vector<NodeHistogram> partials(static_cast<std::size_t>(k));
+  std::vector<std::vector<std::uint32_t>> dev_rows(static_cast<std::size_t>(k));
+  for (std::uint32_t r : node_rows_) {
+    const auto it = std::upper_bound(ctx_.device_row_bounds.begin(),
+                                     ctx_.device_row_bounds.end(), r);
+    const int owner = static_cast<int>(it - ctx_.device_row_bounds.begin()) - 1;
+    dev_rows[static_cast<std::size_t>(owner)].push_back(r);
+  }
+  std::vector<std::span<float>> sum_spans;
+  for (int i = 0; i < k; ++i) {
+    auto& part = partials[static_cast<std::size_t>(i)];
+    part.resize(ctx_.layout);
+    bundle_scratch_.clear();
+    HistBuildInput dev_in = in;
+    dev_in.features = grow_bundles_;
+    dev_in.node_rows = dev_rows[static_cast<std::size_t>(i)];
+    dev_in.node_count =
+        static_cast<std::uint32_t>(dev_rows[static_cast<std::size_t>(i)].size());
+    std::vector<sim::GradPair> dev_totals(static_cast<std::size_t>(d));
+    reduce_gradients(group_.device(i), g, h, dev_in.node_rows, d, dev_totals);
+    dev_in.node_totals = dev_totals;
+    builder_->build(group_.device(i), dev_in, bundle_scratch_);
+    expand_bundled_histogram(group_.device(i), *ctx_.bundling,
+                             ctx_.bundle_layout, ctx_.layout, grow_bundles_,
+                             bundle_scratch_, dev_totals, dev_in.node_count,
+                             part);
     sum_spans.push_back(
         {reinterpret_cast<float*>(part.sums.data()), part.sums.size() * 2});
   }
@@ -219,6 +386,7 @@ void TreeGrower::compute_leaf(Tree& tree, const ActiveNode& node,
   for (std::uint32_t i = node.begin; i < node.end; ++i) {
     leaf_of_row[row_order[i]] = node.tree_node;
   }
+  ++finalized_leaves_;
   // Leaf-value math + leaf-assignment scatter, accumulated into one
   // finalize-leaves kernel per tree (flushed at the end of grow()).
   pending_leaf_stats_.flops += static_cast<std::uint64_t>(d) * 3;
@@ -238,6 +406,68 @@ void TreeGrower::flush_leaf_charges() {
   has_pending_leaf_charges_ = false;
 }
 
+void TreeGrower::subtract_node_histograms(const NodeHistogram& parent,
+                                          const NodeHistogram& smaller,
+                                          NodeHistogram& larger) {
+  const auto& cfg = ctx_.config;
+  for (int dev = 0; dev < group_.size(); ++dev) {
+    const auto& feats =
+        group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kDataParallel
+            ? grow_features_
+            : grow_device_features_[static_cast<std::size_t>(dev)];
+    if (!feats.empty() && !group_.is_lost(dev)) {
+      subtract_histograms(group_.device(dev), ctx_.layout, feats, parent,
+                          smaller, larger);
+    }
+    if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
+  }
+}
+
+void TreeGrower::reduce_node_totals(std::span<const float> g,
+                                    std::span<const float> h,
+                                    std::span<const std::uint32_t> rows,
+                                    std::vector<sim::GradPair>& totals) {
+  const int d = ctx_.layout.n_outputs();
+  for (int dev = 0; dev < group_.size(); ++dev) {
+    if (!group_.is_lost(dev)) {
+      reduce_gradients(group_.device(dev), g, h, rows, d, totals);
+    }
+    if (ctx_.config.multi_gpu == MultiGpuMode::kDataParallel) break;
+  }
+}
+
+std::uint32_t TreeGrower::partition_node(const ActiveNode& a,
+                                         const SplitResult& s,
+                                         std::vector<std::uint32_t>& row_order) {
+  // Split features are always original feature ids (EFB never leaks bundles
+  // past histogram construction), so the partition reads the original bins.
+  const auto col = ctx_.bins->col(static_cast<std::size_t>(s.feature));
+  const auto split_bin = static_cast<std::uint8_t>(s.bin);
+  const auto begin_it = row_order.begin() + a.begin;
+  const auto end_it = row_order.begin() + a.end;
+  const auto mid_it = std::stable_partition(
+      begin_it, end_it, [&](std::uint32_t r) { return col[r] <= split_bin; });
+  const std::uint32_t mid =
+      a.begin + static_cast<std::uint32_t>(mid_it - begin_it);
+  GBMO_CHECK(mid - a.begin == s.n_left)
+      << "partition count mismatch on feature " << s.feature;
+
+  sim::KernelStats st;
+  st.gmem_random_accesses = a.count();
+  st.gmem_coalesced_bytes =
+      static_cast<std::uint64_t>(a.count()) * 2 * sizeof(std::uint32_t);
+  st.blocks = std::max<std::uint64_t>(1, a.count() / 256);
+  sim::charge_kernel(charge_device(), "partition_rows", st);
+  if (group_.size() > 1 &&
+      ctx_.config.multi_gpu == MultiGpuMode::kFeatureParallel) {
+    // The split owner broadcasts this node's left/right bitmap. Leaf-wise
+    // pays this per split (vs once per level) — the extra synchronization
+    // the growth-policy benchmark measures.
+    group_.charge_broadcast(a.count() / 8 + 1, 0);
+  }
+  return mid;
+}
+
 GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
                            std::span<const std::uint32_t> sampled_rows,
                            std::span<const std::uint32_t> sampled_features) {
@@ -248,10 +478,17 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
   GBMO_CHECK(h.size() == g.size());
 
   // Resolve this tree's feature view: full set, or the sampled subset
-  // intersected with each device's column partition.
+  // intersected with each device's column partition. With EFB, the bundle
+  // view follows: a bundle participates when any member is sampled (its
+  // unsampled members get expanded too, but split search never sees them).
   if (sampled_features.empty()) {
     grow_features_ = all_features_;
     grow_device_features_ = device_features_;
+    if (ctx_.bundling != nullptr) {
+      grow_bundles_.resize(ctx_.bundling->bundles.size());
+      std::iota(grow_bundles_.begin(), grow_bundles_.end(), 0u);
+      grow_device_bundles_ = device_bundles_;
+    }
   } else {
     grow_features_.assign(sampled_features.begin(), sampled_features.end());
     std::vector<bool> keep(ctx_.bins->n_cols(), false);
@@ -262,6 +499,25 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
         if (keep[f]) grow_device_features_[dvc].push_back(f);
       }
     }
+    if (ctx_.bundling != nullptr) {
+      auto bundle_sampled = [&](std::uint32_t bi) {
+        for (std::uint32_t f : ctx_.bundling->bundles[bi].features) {
+          if (keep[f]) return true;
+        }
+        return false;
+      };
+      grow_bundles_.clear();
+      for (std::uint32_t bi = 0;
+           bi < static_cast<std::uint32_t>(ctx_.bundling->bundles.size()); ++bi) {
+        if (bundle_sampled(bi)) grow_bundles_.push_back(bi);
+      }
+      grow_device_bundles_.assign(device_bundles_.size(), {});
+      for (std::size_t dvc = 0; dvc < device_bundles_.size(); ++dvc) {
+        for (std::uint32_t bi : device_bundles_[dvc]) {
+          if (bundle_sampled(bi)) grow_device_bundles_[dvc].push_back(bi);
+        }
+      }
+    }
   }
 
   // A mid-grow exception (injected fault that exhausts retries, or a device
@@ -269,6 +525,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
   // accumulated leaf charges into this one.
   pending_leaf_stats_ = sim::KernelStats{};
   has_pending_leaf_charges_ = false;
+  finalized_leaves_ = 0;
 
   GrownTree out;
   out.tree = Tree(d);
@@ -299,24 +556,41 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
     reduce_gradients(group_.device(i), g, h, row_order, d, root.totals);
   }
 
-  std::vector<ActiveNode> active;
+  const bool bundled = ctx_.bundling != nullptr;
+  if (bundled) note_alloc_all(ctx_.bundle_layout.byte_size());
+
   if (cfg.max_depth > 0 &&
       root.count() >= 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node)) {
-    active.push_back(std::move(root));
+    if (cfg.growth == GrowthPolicy::kLeafWise) {
+      grow_leaf_wise(g, h, row_order, tree, out, std::move(root));
+    } else {
+      grow_level_wise(g, h, row_order, tree, out, std::move(root));
+    }
   } else {
     compute_leaf(tree, root, row_order, out.leaf_of_row);
   }
+  group_.set_trace_level(-1);
+
+  flush_leaf_charges();
+  if (bundled) note_free_all(ctx_.bundle_layout.byte_size());
+  return out;
+}
+
+void TreeGrower::grow_level_wise(std::span<const float> g,
+                                 std::span<const float> h,
+                                 std::vector<std::uint32_t>& row_order,
+                                 Tree& tree, GrownTree& out,
+                                 ActiveNode&& root) {
+  const std::size_t n = ctx_.bins->n_rows();
+  const int d = ctx_.layout.n_outputs();
+  const auto& cfg = ctx_.config;
+
+  std::vector<ActiveNode> active;
+  active.push_back(std::move(root));
 
   std::unordered_map<std::int32_t, NodeHistogram> prev_hists, cur_hists;
   NodeHistogram scratch_hist;
   std::size_t prev_bytes = 0;
-
-  auto account_alloc = [&](std::size_t bytes) {
-    for (int i = 0; i < group_.size(); ++i) group_.device(i).note_alloc(bytes);
-  };
-  auto account_free = [&](std::size_t bytes) {
-    for (int i = 0; i < group_.size(); ++i) group_.device(i).note_free(bytes);
-  };
 
   for (int level = 0; level < cfg.max_depth && !active.empty(); ++level) {
     sim::TraceSpan level_span(group_, "level " + std::to_string(level));
@@ -329,7 +603,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
     std::vector<SplitResult> decisions(active.size());
 
     if (subtract_mode) {
-      account_alloc(level_bytes);
+      note_alloc_all(level_bytes);
       group_.set_phase("histogram");
 
       // Phase 1: allocate the level's histograms, then classify each node —
@@ -351,7 +625,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       // the stored nonzeros covers all direct nodes of the level (§3.2);
       // otherwise each node streams its dense rows.
       const bool use_csc_sweep =
-          ctx_.csc != nullptr && cfg.csc_level_sweep &&
+          ctx_.csc != nullptr && cfg.csc_level_sweep && !ctx_.bundling &&
           (group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kFeatureParallel);
       if (use_csc_sweep && !direct_nodes.empty()) {
         std::vector<std::int32_t> node_slot(n, -1);
@@ -384,20 +658,9 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       // direct nodes, built above).
       for (const std::size_t i : derived_nodes) {
         ActiveNode& a = active[i];
-        const auto& parent = prev_hists.at(a.parent);
-        const auto& smaller = cur_hists.at(a.sibling);
-        NodeHistogram& hh = cur_hists.at(a.tree_node);
-        for (int dev = 0; dev < group_.size(); ++dev) {
-          const auto& feats =
-              group_.size() == 1 || cfg.multi_gpu == MultiGpuMode::kDataParallel
-                  ? grow_features_
-                  : grow_device_features_[static_cast<std::size_t>(dev)];
-          if (!feats.empty() && !group_.is_lost(dev)) {
-            subtract_histograms(group_.device(dev), ctx_.layout, feats, parent,
-                                smaller, hh);
-          }
-          if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
-        }
+        subtract_node_histograms(prev_hists.at(a.parent),
+                                 cur_hists.at(a.sibling),
+                                 cur_hists.at(a.tree_node));
       }
     } else {
       for (std::size_t i = 0; i < active.size(); ++i) {
@@ -407,7 +670,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
         group_.set_phase("histogram");
         if (scratch_hist.sums.size() != ctx_.layout.size()) {
           scratch_hist.resize(ctx_.layout);
-          account_alloc(ctx_.layout.byte_size());
+          note_alloc_all(ctx_.layout.byte_size());
         } else {
           scratch_hist.clear();
         }
@@ -431,7 +694,35 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       decisions = select_splits(inputs);
     }
 
-    account_free(prev_bytes);
+    if (cfg.max_leaves > 0) {
+      // Leaf budget: splitting S of the A active nodes yields
+      // finalized + (A − S) + 2·S leaves if growth stopped here, so at most
+      // S = max_leaves − finalized − A splits may proceed; keep the top ones
+      // by (gain desc, node id asc). The histograms built for trimmed nodes
+      // are wasted work — exactly the level-wise overhead the leaf-wise
+      // policy avoids at an equal leaf budget.
+      const auto cap = static_cast<std::size_t>(cfg.max_leaves);
+      const std::size_t committed = finalized_leaves_ + active.size();
+      const std::size_t allowed = cap > committed ? cap - committed : 0;
+      std::vector<std::size_t> valid;
+      for (std::size_t i = 0; i < decisions.size(); ++i) {
+        if (decisions[i].valid()) valid.push_back(i);
+      }
+      if (valid.size() > allowed) {
+        std::sort(valid.begin(), valid.end(),
+                  [&](std::size_t x, std::size_t y) {
+                    if (decisions[x].gain != decisions[y].gain) {
+                      return decisions[x].gain > decisions[y].gain;
+                    }
+                    return active[x].tree_node < active[y].tree_node;
+                  });
+        for (std::size_t i = allowed; i < valid.size(); ++i) {
+          decisions[valid[i]] = SplitResult{};
+        }
+      }
+    }
+
+    note_free_all(prev_bytes);
     if (subtract_mode) {
       prev_hists = std::move(cur_hists);
       cur_hists.clear();
@@ -495,13 +786,7 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
       small_child.totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
       const auto small_rows = std::span<const std::uint32_t>(row_order).subspan(
           small_child.begin, small_child.count());
-      for (int dev = 0; dev < group_.size(); ++dev) {
-        if (!group_.is_lost(dev)) {
-          reduce_gradients(group_.device(dev), g, h, small_rows, d,
-                           small_child.totals);
-        }
-        if (cfg.multi_gpu == MultiGpuMode::kDataParallel) break;
-      }
+      reduce_node_totals(g, h, small_rows, small_child.totals);
       large_child.totals.resize(static_cast<std::size_t>(d));
       for (int k = 0; k < d; ++k) {
         large_child.totals[static_cast<std::size_t>(k)] = sim::GradPair{
@@ -543,18 +828,238 @@ GrownTree TreeGrower::grow(std::span<const float> g, std::span<const float> h,
     }
     active = std::move(next);
   }
-  group_.set_trace_level(-1);
 
   // Defensive: every remaining active node becomes a leaf (cannot normally
   // happen — routing above finalizes depth-limited children).
   for (auto& a : active) compute_leaf(tree, a, row_order, out.leaf_of_row);
 
-  flush_leaf_charges();
-  account_free(prev_bytes);
+  note_free_all(prev_bytes);
   if (scratch_hist.sums.size() == ctx_.layout.size()) {
-    account_free(ctx_.layout.byte_size());
+    note_free_all(ctx_.layout.byte_size());
   }
-  return out;
+}
+
+void TreeGrower::grow_leaf_wise(std::span<const float> g,
+                                std::span<const float> h,
+                                std::vector<std::uint32_t>& row_order,
+                                Tree& tree, GrownTree& out, ActiveNode&& root) {
+  const int d = ctx_.layout.n_outputs();
+  const auto& cfg = ctx_.config;
+  const std::size_t hist_bytes = ctx_.layout.byte_size();
+
+  // Frontier histograms count against the pool budget; when it is exhausted
+  // the two reusable scratch buffers take over (children lose sibling
+  // subtraction for the nodes whose parents could not be kept — leaf-wise's
+  // face of the level-wise one-node-at-a-time fallback).
+  std::size_t live_hist_bytes = 0;
+  NodeHistogram scratch_a, scratch_b;
+
+  auto acquire_hist = [&]() -> std::unique_ptr<NodeHistogram> {
+    if (!cfg.sibling_subtraction ||
+        live_hist_bytes + hist_bytes > ctx_.hist_pool_budget) {
+      return nullptr;
+    }
+    auto hp = std::make_unique<NodeHistogram>();
+    hp->resize(ctx_.layout);
+    note_alloc_all(hist_bytes);
+    live_hist_bytes += hist_bytes;
+    return hp;
+  };
+  auto get_scratch = [&](NodeHistogram& s) -> NodeHistogram& {
+    if (s.sums.size() != ctx_.layout.size()) {
+      s.resize(ctx_.layout);
+      note_alloc_all(hist_bytes);
+    } else {
+      s.clear();
+    }
+    return s;
+  };
+  auto drop_hist = [&](LeafCandidate& c) {
+    if (c.hist) {
+      c.hist.reset();
+      note_free_all(hist_bytes);
+      live_hist_bytes -= hist_bytes;
+    }
+  };
+  auto build_into = [&](const ActiveNode& node, NodeHistogram& hist) {
+    node_rows_ = std::span<const std::uint32_t>(row_order).subspan(
+        node.begin, node.count());
+    group_.set_phase("histogram");
+    build_node_histogram(node, hist, g, h);
+  };
+
+  std::vector<LeafCandidate> frontier;
+  std::size_t n_leaves = 1;  // the root counts until it splits
+
+  {
+    LeafCandidate c;
+    c.node = std::move(root);
+    c.depth = 0;
+    auto hp = acquire_hist();
+    NodeHistogram& hist = hp ? *hp : get_scratch(scratch_a);
+    build_into(c.node, hist);
+    group_.set_phase("split");
+    c.split = select_split(c.node, hist);
+    c.hist = std::move(hp);
+    if (c.split.valid()) {
+      frontier.push_back(std::move(c));
+    } else {
+      drop_hist(c);
+      compute_leaf(tree, c.node, row_order, out.leaf_of_row);
+    }
+  }
+
+  while (!frontier.empty() &&
+         (cfg.max_leaves == 0 ||
+          n_leaves < static_cast<std::size_t>(cfg.max_leaves))) {
+    // Pop the best candidate: max gain, ties to the lowest tree node id —
+    // a deterministic total order, so the grown tree is identical at any
+    // --sim-threads and independent of frontier insertion history.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      const auto& fi = frontier[i];
+      const auto& fb = frontier[best];
+      if (fi.split.gain > fb.split.gain ||
+          (fi.split.gain == fb.split.gain &&
+           fi.node.tree_node < fb.node.tree_node)) {
+        best = i;
+      }
+    }
+    LeafCandidate cand = std::move(frontier[best]);
+    frontier.erase(frontier.begin() +
+                   static_cast<std::ptrdiff_t>(best));
+
+    ActiveNode& a = cand.node;
+    const SplitResult& s = cand.split;
+    sim::TraceSpan split_span(group_, "leaf-split node " +
+                                          std::to_string(a.tree_node));
+    group_.set_trace_level(cand.depth);
+
+    group_.set_phase("partition");
+    const std::uint32_t mid = partition_node(a, s, row_order);
+
+    const int cdepth = cand.depth + 1;
+    const auto [left_id, right_id] = tree.split_node(
+        a.tree_node, s.feature, s.bin,
+        ctx_.cuts->threshold_for(static_cast<std::size_t>(s.feature), s.bin),
+        s.gain, s.n_left, s.n_right, cdepth);
+    ++n_leaves;
+
+    const bool left_smaller = s.n_left <= s.n_right;
+    ActiveNode small_child, large_child;
+    small_child.tree_node = left_smaller ? left_id : right_id;
+    small_child.begin = left_smaller ? a.begin : mid;
+    small_child.end = left_smaller ? mid : a.end;
+    large_child.tree_node = left_smaller ? right_id : left_id;
+    large_child.begin = left_smaller ? mid : a.begin;
+    large_child.end = left_smaller ? a.end : mid;
+
+    group_.set_phase("histogram");
+    small_child.totals.assign(static_cast<std::size_t>(d), sim::GradPair{});
+    const auto small_rows = std::span<const std::uint32_t>(row_order).subspan(
+        small_child.begin, small_child.count());
+    reduce_node_totals(g, h, small_rows, small_child.totals);
+    large_child.totals.resize(static_cast<std::size_t>(d));
+    for (int k = 0; k < d; ++k) {
+      large_child.totals[static_cast<std::size_t>(k)] = sim::GradPair{
+          a.totals[static_cast<std::size_t>(k)].g -
+              small_child.totals[static_cast<std::size_t>(k)].g,
+          a.totals[static_cast<std::size_t>(k)].h -
+              small_child.totals[static_cast<std::size_t>(k)].h};
+    }
+    small_child.parent = a.tree_node;
+    large_child.parent = a.tree_node;
+    small_child.sibling = large_child.tree_node;
+    large_child.sibling = small_child.tree_node;
+    small_child.is_smaller = true;
+    large_child.is_smaller = false;
+
+    auto eligible = [&](const ActiveNode& c) {
+      return cdepth < cfg.max_depth &&
+             c.count() >=
+                 2 * static_cast<std::uint32_t>(cfg.min_instances_per_node);
+    };
+    const bool small_elig = eligible(small_child);
+    const bool large_elig = eligible(large_child);
+
+    LeafCandidate sc, lc;
+    sc.node = std::move(small_child);
+    sc.depth = cdepth;
+    lc.node = std::move(large_child);
+    lc.depth = cdepth;
+
+    std::unique_ptr<NodeHistogram> small_hp, large_hp;
+    NodeHistogram* small_hist = nullptr;
+    NodeHistogram* large_hist = nullptr;
+
+    if (small_elig) {
+      small_hp = acquire_hist();
+      small_hist = small_hp ? small_hp.get() : &get_scratch(scratch_a);
+      build_into(sc.node, *small_hist);
+    } else if (large_elig && cand.hist) {
+      // The smaller child's histogram is still worth building (into scratch:
+      // no candidate will keep it) — building the smaller side plus one
+      // subtraction beats streaming the larger side's rows.
+      small_hist = &get_scratch(scratch_a);
+      build_into(sc.node, *small_hist);
+    }
+    if (large_elig) {
+      large_hp = acquire_hist();
+      large_hist = large_hp ? large_hp.get() : &get_scratch(scratch_b);
+      if (cand.hist && small_hist) {
+        subtract_node_histograms(*cand.hist, *small_hist, *large_hist);
+      } else {
+        build_into(lc.node, *large_hist);
+      }
+    }
+
+    // One batched scan/gain/reduction kernel set covers both children.
+    if (small_elig || large_elig) {
+      group_.set_phase("split");
+      std::vector<NodeSplitInput> inputs;
+      std::vector<LeafCandidate*> cands;
+      if (small_elig) {
+        inputs.push_back({small_hist, sc.node.totals, sc.node.count()});
+        cands.push_back(&sc);
+      }
+      if (large_elig) {
+        inputs.push_back({large_hist, lc.node.totals, lc.node.count()});
+        cands.push_back(&lc);
+      }
+      const auto results = select_splits(inputs);
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        cands[i]->split = results[i];
+      }
+    }
+
+    drop_hist(cand);  // the parent's histogram has served its subtraction
+
+    sc.hist = std::move(small_hp);
+    lc.hist = std::move(large_hp);
+    auto route_child = [&](LeafCandidate&& c) {
+      if (c.split.valid()) {
+        frontier.push_back(std::move(c));
+      } else {
+        drop_hist(c);
+        compute_leaf(tree, c.node, row_order, out.leaf_of_row);
+      }
+    };
+    route_child(std::move(sc));
+    route_child(std::move(lc));
+  }
+
+  // Leaf budget reached (or no splittable leaves left): finalize the rest.
+  for (auto& c : frontier) {
+    drop_hist(c);
+    compute_leaf(tree, c.node, row_order, out.leaf_of_row);
+  }
+
+  if (scratch_a.sums.size() == ctx_.layout.size()) {
+    note_free_all(hist_bytes);
+  }
+  if (scratch_b.sums.size() == ctx_.layout.size()) {
+    note_free_all(hist_bytes);
+  }
 }
 
 }  // namespace gbmo::core

@@ -1,15 +1,30 @@
-// Level-wise tree construction (Algorithm 1) on the simulated device group.
+// Tree construction on the simulated device group: level-wise (Algorithm 1)
+// and leaf-wise (LightGBM-style best-first) growth policies.
 //
-// Per level, every splittable node gets a histogram (built by the configured
-// strategy, or derived by sibling subtraction: the larger child equals the
-// parent minus the smaller child), the best split is selected (per-device
-// feature subsets + best-split all-reduce in feature-parallel mode), and the
-// node's instance range is stable-partitioned into its children.
+// Level-wise: per level, every splittable node gets a histogram (built by
+// the configured strategy, or derived by sibling subtraction: the larger
+// child equals the parent minus the smaller child), the best split is
+// selected (per-device feature subsets + best-split all-reduce in
+// feature-parallel mode), and the node's instance range is
+// stable-partitioned into its children.
 //
-// Histogram memory is pooled with a budget: when a level's histograms would
-// exceed it, the grower falls back to building nodes one at a time in a
-// single reusable buffer (losing subtraction but bounding peak memory) —
-// this is the mechanism behind "avoids out-of-memory failures" in Figure 7.
+// Leaf-wise: a gain-ordered frontier of split candidates; the highest-gain
+// leaf splits first (deterministic tie-break on the lowest node id) until
+// the max_leaves budget or the frontier is exhausted. Children reuse the
+// same smaller-child-direct / larger-by-subtraction machinery; both
+// children's splits are selected in one batched kernel set per split.
+//
+// Histogram memory is pooled with a budget (config.hist_budget_mb): when a
+// level / frontier would exceed it, the grower falls back to building nodes
+// one at a time in reusable scratch buffers (losing subtraction but
+// bounding peak memory) — this is the mechanism behind "avoids
+// out-of-memory failures" in Figure 7.
+//
+// Exclusive feature bundling (data/bundling.h): when the context carries a
+// bundling plan, node histograms are accumulated over the bundled columns
+// (one histogram column per bundle — far fewer random updates for sparse
+// data) and then expanded back to the original per-feature layout, so split
+// selection, subtraction and the Tree never see bundles.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +37,7 @@
 #include "core/histogram.h"
 #include "core/split.h"
 #include "core/tree.h"
+#include "data/bundling.h"
 #include "data/quantize.h"
 #include "sim/collectives.h"
 
@@ -36,16 +52,34 @@ struct GrowerContext {
   const data::BinnedCscMatrix* csc = nullptr;
   HistogramLayout layout;
   TrainConfig config;
-  // Feature subsets per device (feature-parallel) — contiguous chunks.
+  // Feature subsets per device (feature-parallel) — contiguous chunks, or
+  // bundle-aligned groups when a bundling plan is applied.
   std::vector<std::vector<std::uint32_t>> device_features;
   // Row ownership boundaries per device (data-parallel).
   std::vector<std::uint32_t> device_row_bounds;  // size n_devices + 1
-  // Histogram pool budget in bytes (see header comment).
+
+  // Exclusive feature bundling (set by the booster via apply_bundling when
+  // config.efb finds mergeable features): the bundled bin matrix, its
+  // histogram layout (zero bin 0 per bundle = the shared default), and the
+  // per-device bundle partition matching device_features.
+  const data::FeatureBundling* bundling = nullptr;
+  const data::BinnedMatrix* bundled_bins = nullptr;
+  HistogramLayout bundle_layout;
+  std::vector<std::vector<std::uint32_t>> device_bundles;
+
+  // Histogram pool budget in bytes (from config.hist_budget_mb).
   std::size_t hist_pool_budget = 512ull << 20;
 
   static GrowerContext create(const data::BinnedMatrix& bins,
                               const data::BinCuts& cuts, int n_outputs,
                               const TrainConfig& config);
+
+  // Installs an EFB plan: builds the bundle layout and repartitions the
+  // device feature sets bundle-aligned (a bundle's members always live on
+  // one device, so the device that accumulates a bundled column also owns
+  // its expanded features for split search).
+  void apply_bundling(const data::FeatureBundling& plan,
+                      const data::BinnedMatrix& bundled);
 };
 
 struct GrownTree {
@@ -90,16 +124,60 @@ class TreeGrower {
     std::uint32_t count() const { return end - begin; }
   };
 
+  // Leaf-wise frontier entry: a splittable leaf with its precomputed best
+  // split; the histogram is kept only while the pool budget allows it (a
+  // candidate without one loses sibling subtraction for its children — the
+  // leaf-wise face of the one-node-at-a-time fallback).
+  struct LeafCandidate {
+    ActiveNode node;
+    int depth = 0;
+    SplitResult split;
+    std::unique_ptr<NodeHistogram> hist;
+  };
+
+  void grow_level_wise(std::span<const float> g, std::span<const float> h,
+                       std::vector<std::uint32_t>& row_order, Tree& tree,
+                       GrownTree& out, ActiveNode&& root);
+  void grow_leaf_wise(std::span<const float> g, std::span<const float> h,
+                      std::vector<std::uint32_t>& row_order, Tree& tree,
+                      GrownTree& out, ActiveNode&& root);
+
   void build_node_histogram(const ActiveNode& node, NodeHistogram& out,
                             std::span<const float> g, std::span<const float> h);
+  // EFB build: accumulate over bundled columns, then expand to `out` in the
+  // original layout (zero bins reconstructed from the node totals).
+  void build_node_histogram_bundled(const ActiveNode& node, NodeHistogram& out,
+                                    std::span<const float> g,
+                                    std::span<const float> h);
   SplitResult select_split(const ActiveNode& node, const NodeHistogram& hist);
-  // Level-batched selection (one scan/gain/reduction kernel set per level,
-  // §3.1.3); inputs[i] corresponds to nodes[i].
+  // Batched selection (one scan/gain/reduction kernel set per call, §3.1.3);
+  // inputs[i] corresponds to nodes[i]. Level-wise batches a whole level,
+  // leaf-wise batches one split's two children.
   std::vector<SplitResult> select_splits(std::span<const NodeSplitInput> inputs);
   void compute_leaf(Tree& tree, const ActiveNode& node,
                     std::span<const std::uint32_t> row_order,
                     std::vector<std::int32_t>& leaf_of_row);
   void flush_leaf_charges();
+
+  // Sibling subtraction over every device that owns features of the node
+  // (larger = parent − smaller), shared by both growth policies.
+  void subtract_node_histograms(const NodeHistogram& parent,
+                                const NodeHistogram& smaller,
+                                NodeHistogram& larger);
+  // Reduces a node's d gradient totals on every device that needs them
+  // (replicated in feature-parallel mode, once in data-parallel mode).
+  void reduce_node_totals(std::span<const float> g, std::span<const float> h,
+                          std::span<const std::uint32_t> rows,
+                          std::vector<sim::GradPair>& totals);
+  // Stable-partitions a node's row range by its split and charges the
+  // partition kernel (+ the feature-parallel bitmap broadcast). Returns the
+  // first right-child index.
+  std::uint32_t partition_node(const ActiveNode& node, const SplitResult& s,
+                               std::vector<std::uint32_t>& row_order);
+
+  // Device memory accounting over the whole group.
+  void note_alloc_all(std::size_t bytes);
+  void note_free_all(std::size_t bytes);
 
   // The first alive device (device 0 unless it was lost) — target for the
   // single-device charges (leaf finalize, partition kernel).
@@ -113,17 +191,26 @@ class TreeGrower {
   // Live column partition: starts as ctx_.device_features and shrinks to the
   // survivors on redistribute_over_alive() (lost devices end up empty).
   std::vector<std::vector<std::uint32_t>> device_features_;
+  // Live bundle partition (EFB; parallel to device_features_).
+  std::vector<std::vector<std::uint32_t>> device_bundles_;
   // This tree's feature view (= all_features_ unless colsample is active)
   // and its intersection with every device's column partition.
   std::vector<std::uint32_t> grow_features_;
   std::vector<std::vector<std::uint32_t>> grow_device_features_;
-  // Row span of the node currently being built (set by grow() before each
+  // This tree's bundle view (EFB): bundles with at least one sampled member.
+  std::vector<std::uint32_t> grow_bundles_;
+  std::vector<std::vector<std::uint32_t>> grow_device_bundles_;
+  // Scratch for the bundled accumulation pass (EFB).
+  NodeHistogram bundle_scratch_;
+  // Row span of the node currently being built (set before each
   // build_node_histogram call; avoids threading it through every helper).
   std::span<const std::uint32_t> node_rows_;
   // Leaf-value/assignment work is accumulated and charged as one kernel per
   // tree (the real implementation finalizes all leaves in one launch).
   sim::KernelStats pending_leaf_stats_;
   bool has_pending_leaf_charges_ = false;
+  // Leaves finalized so far in the current grow() (max_leaves accounting).
+  std::size_t finalized_leaves_ = 0;
 };
 
 }  // namespace gbmo::core

@@ -18,6 +18,21 @@ HistogramLayout::HistogramLayout(const data::BinCuts& cuts, int n_outputs)
   }
 }
 
+HistogramLayout::HistogramLayout(std::span<const int> bin_counts,
+                                 std::span<const std::uint8_t> zero_bins,
+                                 int n_outputs)
+    : n_outputs_(n_outputs) {
+  GBMO_CHECK(n_outputs >= 1);
+  GBMO_CHECK(bin_counts.size() == zero_bins.size());
+  offsets_.reserve(bin_counts.size() + 1);
+  offsets_.push_back(0);
+  for (std::size_t f = 0; f < bin_counts.size(); ++f) {
+    GBMO_CHECK(bin_counts[f] >= 1 && bin_counts[f] <= 256);
+    offsets_.push_back(offsets_.back() + static_cast<std::uint32_t>(bin_counts[f]));
+  }
+  zero_bins_.assign(zero_bins.begin(), zero_bins.end());
+}
+
 const char* hist_method_name(HistMethod m) {
   switch (m) {
     case HistMethod::kAuto:
@@ -78,6 +93,61 @@ void reconstruct_zero_bins(const HistBuildInput& in, NodeHistogram& out) {
         << "non-zero bin counts exceed node size for feature " << f;
     out.counts[layout.bin_index(f, zb)] = in.node_count - count;
   }
+}
+
+void expand_bundled_histogram(sim::Device& dev,
+                              const data::FeatureBundling& bundling,
+                              const HistogramLayout& bundle_layout,
+                              const HistogramLayout& layout,
+                              std::span<const std::uint32_t> bundles,
+                              const NodeHistogram& bundled,
+                              std::span<const sim::GradPair> node_totals,
+                              std::uint32_t node_count, NodeHistogram& out) {
+  const int d = layout.n_outputs();
+  GBMO_CHECK(bundle_layout.n_outputs() == d);
+  std::uint64_t copied_slots = 0;
+  std::vector<std::uint32_t> members;
+  for (const std::uint32_t bi : bundles) {
+    const data::FeatureBundle& bundle = bundling.bundles[bi];
+    for (std::size_t j = 0; j < bundle.features.size(); ++j) {
+      const std::uint32_t f = bundle.features[j];
+      members.push_back(f);
+      const std::uint8_t zb = layout.zero_bin(f);
+      const int n_bins = layout.n_bins(f);
+      const int start = bundle.bin_starts[j];
+      for (int b = 0; b < n_bins; ++b) {
+        if (b == zb) continue;
+        const int bb = start + (b < zb ? b : b - 1);
+        const std::size_t src = bundle_layout.slot(bi, bb, 0);
+        const std::size_t dst = layout.slot(f, b, 0);
+        for (int k = 0; k < d; ++k) {
+          out.sums[dst + static_cast<std::size_t>(k)] =
+              bundled.sums[src + static_cast<std::size_t>(k)];
+        }
+        out.counts[layout.bin_index(f, b)] =
+            bundled.counts[bundle_layout.bin_index(bi, bb)];
+        copied_slots += static_cast<std::uint64_t>(d);
+      }
+    }
+  }
+
+  // Per-member zero bins from the node totals — always reconstructed,
+  // because the bundle's shared default bin mixes all members.
+  HistBuildInput rec;
+  rec.layout = &layout;
+  rec.features = members;
+  rec.sparsity_aware = true;
+  rec.node_totals = node_totals;
+  rec.node_count = node_count;
+  reconstruct_zero_bins(rec, out);
+
+  // One gather/scatter kernel: read bundled slots, write original slots,
+  // plus the zero-bin reduction over the written slots.
+  sim::KernelStats s;
+  s.blocks = std::max<std::uint64_t>(1, copied_slots / 256);
+  s.gmem_coalesced_bytes = copied_slots * sizeof(sim::GradPair) * 2;
+  s.flops = copied_slots * 2;
+  sim::charge_kernel(dev, "efb_expand", s);
 }
 
 void subtract_histograms(sim::Device& dev, const HistogramLayout& layout,

@@ -23,6 +23,7 @@
 
 #include "core/config.h"
 #include "data/binned_csc.h"
+#include "data/bundling.h"
 #include "data/quantize.h"
 #include "sim/device.h"
 #include "sim/primitives.h"
@@ -33,6 +34,10 @@ class HistogramLayout {
  public:
   HistogramLayout() = default;
   HistogramLayout(const data::BinCuts& cuts, int n_outputs);
+  // Explicit per-column bin counts and zero bins (EFB bundle layouts; a
+  // bundle's shared default bin is bin 0).
+  HistogramLayout(std::span<const int> bin_counts,
+                  std::span<const std::uint8_t> zero_bins, int n_outputs);
 
   std::size_t n_features() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   int n_outputs() const { return n_outputs_; }
@@ -128,6 +133,22 @@ void subtract_histograms(sim::Device& dev, const HistogramLayout& layout,
                          std::span<const std::uint32_t> features,
                          const NodeHistogram& parent, const NodeHistogram& smaller,
                          NodeHistogram& larger);
+
+// EFB expansion: scatters each bundle member's non-default bundled bins back
+// into the member's original-layout slots of `out`, then reconstructs every
+// member's zero bin from the node totals (the bundled shared default bin is
+// not decomposable per member, but zero bins never need it: zero-bin sums =
+// node totals − Σ non-default bins, exactly the §3.2 rule). `bundles`
+// selects which bundle columns to expand (a device's subset); split search
+// downstream only ever sees original feature ids.
+void expand_bundled_histogram(sim::Device& dev,
+                              const data::FeatureBundling& bundling,
+                              const HistogramLayout& bundle_layout,
+                              const HistogramLayout& layout,
+                              std::span<const std::uint32_t> bundles,
+                              const NodeHistogram& bundled,
+                              std::span<const sim::GradPair> node_totals,
+                              std::uint32_t node_count, NodeHistogram& out);
 
 // Level-sweep CSC construction (§3.2): one pass over the *stored* nonzero
 // entries of every feature column — instead of n x m dense reads — scatters

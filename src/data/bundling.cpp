@@ -1,0 +1,105 @@
+#include "data/bundling.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace gbmo::data {
+
+FeatureBundling FeatureBundling::plan(const BinnedMatrix& bins,
+                                      const BinCuts& cuts,
+                                      int max_bundle_bins) {
+  const std::size_t n = bins.n_rows();
+  const std::size_t m = bins.n_cols();
+  GBMO_CHECK(cuts.n_features() == m);
+  GBMO_CHECK(max_bundle_bins >= 2 && max_bundle_bins <= 256)
+      << "bundled bin ids are stored as uint8_t";
+
+  std::vector<std::uint8_t> zero_bins(m);
+  std::vector<std::size_t> nnz(m, 0);
+  for (std::size_t f = 0; f < m; ++f) {
+    zero_bins[f] = cuts.bin_for(f, 0.0f);
+    const auto col = bins.col(f);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (col[r] != zero_bins[f]) ++nnz[f];
+    }
+  }
+
+  // Densest features first: they claim their own bundles immediately and the
+  // genuinely sparse tail packs into whatever they leave free.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (nnz[a] != nnz[b]) return nnz[a] > nnz[b];
+    return a < b;
+  });
+
+  FeatureBundling out;
+  out.bundle_of_feature.assign(m, 0);
+  out.member_index.assign(m, 0);
+  // Per bundle: which rows already carry a non-default member value.
+  std::vector<std::vector<bool>> used;
+
+  for (const std::uint32_t f : order) {
+    const int extra = cuts.n_bins(f) - 1;  // non-default bins the member adds
+    const auto col = bins.col(f);
+    const std::uint8_t zb = zero_bins[f];
+
+    std::size_t target = out.bundles.size();
+    for (std::size_t b = 0; b < out.bundles.size(); ++b) {
+      if (out.bundles[b].n_bins + extra > max_bundle_bins) continue;
+      bool conflict = false;
+      const auto& mask = used[b];
+      for (std::size_t r = 0; r < n && !conflict; ++r) {
+        conflict = col[r] != zb && mask[r];
+      }
+      if (!conflict) {
+        target = b;
+        break;
+      }
+    }
+    if (target == out.bundles.size()) {
+      out.bundles.emplace_back();
+      used.emplace_back(n, false);
+    }
+
+    FeatureBundle& bundle = out.bundles[target];
+    out.bundle_of_feature[f] = static_cast<std::uint32_t>(target);
+    out.member_index[f] = static_cast<std::uint32_t>(bundle.features.size());
+    bundle.features.push_back(f);
+    bundle.bin_starts.push_back(static_cast<std::uint16_t>(bundle.n_bins));
+    bundle.n_bins += extra;
+    auto& mask = used[target];
+    for (std::size_t r = 0; r < n; ++r) {
+      if (col[r] != zb) mask[r] = true;
+    }
+  }
+  return out;
+}
+
+BinnedMatrix build_bundled_matrix(const BinnedMatrix& bins, const BinCuts& cuts,
+                                  const FeatureBundling& plan) {
+  const std::size_t n = bins.n_rows();
+  std::vector<std::uint8_t> packed(n * plan.bundles.size(), 0);
+  for (std::size_t b = 0; b < plan.bundles.size(); ++b) {
+    const FeatureBundle& bundle = plan.bundles[b];
+    std::uint8_t* dst = packed.data() + b * n;
+    for (std::size_t j = 0; j < bundle.features.size(); ++j) {
+      const std::uint32_t f = bundle.features[j];
+      const std::uint8_t zb = cuts.bin_for(f, 0.0f);
+      const auto col = bins.col(f);
+      const int start = bundle.bin_starts[j];
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::uint8_t bin = col[r];
+        if (bin == zb) continue;
+        GBMO_DCHECK(dst[r] == 0) << "bundle members are not exclusive";
+        const int local = bin < zb ? bin : bin - 1;
+        dst[r] = static_cast<std::uint8_t>(start + local);
+      }
+    }
+  }
+  return BinnedMatrix::from_bins(n, plan.bundles.size(), std::move(packed));
+}
+
+}  // namespace gbmo::data

@@ -1,0 +1,59 @@
+// Exclusive feature bundling (LightGBM's EFB) at the binned-data level.
+//
+// Sparse features rarely take non-default values at the same time. A greedy
+// graph coloring groups mutually-exclusive features — no row has two bundle
+// members off their zero bin at once — into a single bundled column whose
+// bin space concatenates the members' non-default bins behind a shared
+// default bin 0:
+//
+//   bundled bin 0                    = every member at its zero bin
+//   bundled bin bin_start[j] + local = member j at non-default bin b, where
+//                                      local = b < zero_bin(j) ? b : b - 1
+//
+// The mapping is invertible per bundle, so a bundled histogram slice decodes
+// exactly back to the member's original (feature, bin) slots — histogram
+// construction is the only consumer; split search, trees and prediction
+// always operate on original feature ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/quantize.h"
+
+namespace gbmo::data {
+
+struct FeatureBundle {
+  std::vector<std::uint32_t> features;  // member original feature ids
+  // Per member: first bundled bin of its non-default range (>= 1). The
+  // member's range spans [bin_starts[j], bin_starts[j] + n_bins(f) - 2].
+  std::vector<std::uint16_t> bin_starts;
+  int n_bins = 1;  // total bundled bins, including the shared default bin 0
+};
+
+struct FeatureBundling {
+  std::vector<FeatureBundle> bundles;
+  std::vector<std::uint32_t> bundle_of_feature;  // feature -> bundle id
+  std::vector<std::uint32_t> member_index;       // feature -> index in bundle
+
+  std::size_t n_features() const { return bundle_of_feature.size(); }
+  // Number of columns eliminated by merging (0 = bundling is a no-op).
+  std::size_t n_merged() const { return n_features() - bundles.size(); }
+
+  // Greedy zero-conflict coloring: features ordered by non-default count
+  // (descending, tie-break on lower feature id) are placed into the first
+  // bundle with no row conflict and enough bin headroom; bundled bins are
+  // capped at `max_bundle_bins` so ids still fit in a uint8. Deterministic
+  // for a given matrix. Zero bins follow cuts.bin_for(f, 0).
+  static FeatureBundling plan(const BinnedMatrix& bins, const BinCuts& cuts,
+                              int max_bundle_bins = 256);
+};
+
+// Materializes the bundled column-major bin matrix (one column per bundle)
+// from the original binned matrix. Exact: each row of each bundle has at
+// most one member off its zero bin, by construction of the plan.
+BinnedMatrix build_bundled_matrix(const BinnedMatrix& bins, const BinCuts& cuts,
+                                  const FeatureBundling& plan);
+
+}  // namespace gbmo::data

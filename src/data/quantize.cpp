@@ -105,6 +105,16 @@ BinnedMatrix::BinnedMatrix(const DenseMatrix& x, const BinCuts& cuts)
   }
 }
 
+BinnedMatrix BinnedMatrix::from_bins(std::size_t n_rows, std::size_t n_cols,
+                                     std::vector<std::uint8_t> colmajor_bins) {
+  GBMO_CHECK(colmajor_bins.size() == n_rows * n_cols);
+  BinnedMatrix out;
+  out.n_rows_ = n_rows;
+  out.n_cols_ = n_cols;
+  out.bins_ = std::move(colmajor_bins);
+  return out;
+}
+
 void BinnedMatrix::pack() {
   if (packed()) return;
   words_per_col_ = (n_rows_ + 3) / 4;

@@ -64,6 +64,11 @@ class BinnedMatrix {
   BinnedMatrix() = default;
   BinnedMatrix(const DenseMatrix& x, const BinCuts& cuts);
 
+  // Wraps pre-computed column-major bin ids (size n_rows * n_cols) — used
+  // for derived representations such as EFB's bundled columns.
+  static BinnedMatrix from_bins(std::size_t n_rows, std::size_t n_cols,
+                                std::vector<std::uint8_t> colmajor_bins);
+
   std::size_t n_rows() const { return n_rows_; }
   std::size_t n_cols() const { return n_cols_; }
 

@@ -84,7 +84,10 @@ struct DrawnCase {
        << " depth=" << cfg.max_depth << " bins=" << cfg.max_bins
        << " hist=" << gbmo::core::hist_method_name(cfg.hist_method)
        << " csc_sweep=" << cfg.csc_level_sweep << " warp=" << cfg.warp_opt
-       << " sparse=" << cfg.sparsity_aware << " devices=" << cfg.n_devices;
+       << " sparse=" << cfg.sparsity_aware << " devices=" << cfg.n_devices
+       << " growth=" << gbmo::core::growth_policy_name(cfg.growth)
+       << " leaves=" << cfg.max_leaves << " efb=" << cfg.efb
+       << " goss=" << cfg.goss_a << "," << cfg.goss_b;
     return os.str();
   }
 };
@@ -116,6 +119,19 @@ DrawnCase draw_case(std::uint64_t seed) {
   c.cfg.sparsity_aware = pick(0, 1) == 1;
   c.cfg.csc_level_sweep = pick(0, 3) == 0;
   c.cfg.sibling_subtraction = pick(0, 1) == 1;
+  // Growth policy & sampling (DESIGN.md §11). All of these flow through the
+  // shared GbmoBooster pipeline, so the cpu-mo scalar reference applies the
+  // identical leaf budget / bundling / GOSS selection (same cfg, same seed)
+  // and the epsilon-agreement invariant keeps holding.
+  c.cfg.growth = pick(0, 1) == 0 ? gbmo::core::GrowthPolicy::kLevelWise
+                                 : gbmo::core::GrowthPolicy::kLeafWise;
+  const int leaf_choices[] = {0, 0, 6, 11};  // mostly unbounded
+  c.cfg.max_leaves = leaf_choices[pick(0, 3)];
+  c.cfg.efb = pick(0, 2) == 0;  // a no-op unless the draw made features sparse
+  if (pick(0, 3) == 0) {
+    c.cfg.goss_a = 0.2 + 0.1 * pick(0, 1);
+    c.cfg.goss_b = 0.2 + 0.2 * pick(0, 1);
+  }
   // Feature-parallel only: data-parallel all-reduce changes the histogram
   // accumulation order, which legitimately flips near-tie splits.
   c.cfg.n_devices = pick(0, 1) == 0 ? 1 : 2;

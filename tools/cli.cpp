@@ -171,6 +171,33 @@ core::TrainConfig parse_train_config(const Args& args) {
   if (mgpu == "feature") cfg.multi_gpu = core::MultiGpuMode::kFeatureParallel;
   else if (mgpu == "data") cfg.multi_gpu = core::MultiGpuMode::kDataParallel;
   else throw Error("unknown --mgpu: " + mgpu);
+
+  const auto growth = args.str("growth", "level");
+  if (growth == "level") cfg.growth = core::GrowthPolicy::kLevelWise;
+  else if (growth == "leaf") cfg.growth = core::GrowthPolicy::kLeafWise;
+  else throw Error("unknown --growth: " + growth + " (level|leaf)");
+  cfg.max_leaves = static_cast<int>(args.integer("max-leaves", cfg.max_leaves));
+  if (args.flag("efb")) cfg.efb = true;
+  // --goss a,b  (e.g. --goss 0.2,0.1): top-a fraction kept, b fraction of the
+  // rest sampled and amplified. Both zero (the default) disables GOSS.
+  if (args.has("goss")) {
+    const auto spec = args.str("goss");
+    const auto comma = spec.find(',');
+    if (comma == std::string::npos) {
+      throw Error("bad --goss '" + spec + "': expected a,b (e.g. 0.2,0.1)");
+    }
+    try {
+      cfg.goss_a = std::stod(spec.substr(0, comma));
+      cfg.goss_b = std::stod(spec.substr(comma + 1));
+    } catch (const std::exception&) {
+      throw Error("bad --goss '" + spec + "': expected a,b (e.g. 0.2,0.1)");
+    }
+  }
+  cfg.hist_budget_mb =
+      static_cast<int>(args.integer("hist-budget-mb", cfg.hist_budget_mb));
+  // Surface nonsense combinations here (clear one-line message + exit 1)
+  // rather than from an assertion later.
+  core::validate_train_config(cfg);
   return cfg;
 }
 
@@ -279,8 +306,10 @@ int cmd_generate(const Args& args, std::ostream& out) {
 }
 
 int cmd_train(const Args& args, std::ostream& out) {
-  const auto train = load_dataset(args, "data");
+  // Config first: an invalid flag combination should fail fast, before the
+  // (possibly large) training file is read.
   auto cfg = parse_train_config(args);
+  const auto train = load_dataset(args, "data");
   const auto model_path = args.require("model");
   cfg.checkpoint_path = args.str("checkpoint");
   cfg.checkpoint_every =
@@ -541,8 +570,8 @@ int cmd_systems(const Args& args, std::ostream& out) {
 }
 
 int cmd_compare(const Args& args, std::ostream& out) {
-  const auto train_full = load_dataset(args, "data");
   auto cfg = parse_train_config(args);
+  const auto train_full = load_dataset(args, "data");
   const auto device = parse_device(args.str("device"));
   args.reject_unknown();
 
@@ -580,6 +609,8 @@ commands:
              [--hist auto|gmem|smem|sort-reduce --no-warp-opt --no-sparsity-aware]
              [--devices N --mgpu feature|data --device 4090|3090|cpu]
              [--subsample F --colsample F --valid FILE --early-stop N]
+             [--growth level|leaf --max-leaves N --efb --goss A,B]
+             [--hist-budget-mb N]
              [--sim-threads N --sim-check --sim-faults SPEC]
              [--checkpoint FILE --checkpoint-every N --resume]
   evaluate   --model FILE --data FILE --features N [--format ... --task T --outputs D]
@@ -598,6 +629,20 @@ commands:
 
 train also accepts --csc (build histograms by streaming binned CSC entries,
 the paper's §3.2 storage path).
+
+Growth & sampling (any command taking train options): --growth leaf grows
+trees best-first (highest-gain leaf next, LightGBM-style) instead of
+level-by-level; --max-leaves N caps the leaf count under either policy
+(0 = unlimited; level-wise keeps the top-gain splits of each level).
+--efb merges mutually-exclusive sparse features into shared histogram
+columns (exclusive feature bundling; splits always report original feature
+ids; ignored under --csc, whose sweep already skips zeros). --goss A,B keeps
+the top A-fraction of rows by gradient norm, samples B of the rest and
+amplifies them by (1-A)/B — mutually exclusive with --subsample.
+--hist-budget-mb N bounds the per-tree histogram pool; when a level or
+frontier would exceed it the grower builds one node at a time in scratch
+(slower, no sibling subtraction, bounded memory). All of these keep the
+bitwise --sim-threads determinism guarantee.
 
 --sim-threads N (any command taking train options) sets how many host
 worker threads the simulator's block scheduler uses; the GBMO_SIM_THREADS
